@@ -1,0 +1,390 @@
+(* migrate — command-line front end for the heterogeneous data
+   migration library.
+
+   Subcommands:
+     generate   write a random migration instance to stdout/file
+     bounds     print the lower bounds of an instance
+     plan       compute and print a migration schedule
+     compare    run every algorithm on an instance and tabulate
+     simulate   run a full cluster scenario through the simulator
+
+   Instances use the text format of [Migration.Instance.to_string]:
+   "n m" header, a line of n capacities, then m "src dst" edge lines. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* shared helpers *)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  let doc = "Enable debug logging of the planners and simulator." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_instance path =
+  let contents =
+    match path with
+    | "-" ->
+        let buf = Buffer.create 4096 in
+        (try
+           while true do
+             Buffer.add_channel buf stdin 1
+           done
+         with End_of_file -> ());
+        Buffer.contents buf
+    | path -> (
+        try read_file path
+        with Sys_error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 2)
+  in
+  try Migration.Instance.of_string contents
+  with Failure msg | Invalid_argument msg ->
+    Printf.eprintf "error: not a valid instance: %s\n" msg;
+    exit 2
+
+let rng_of_seed seed = Random.State.make [| seed; 0xda7a |]
+
+let seed_arg =
+  let doc = "Random seed (reproducible runs)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let instance_arg =
+  let doc = "Instance file ('-' for stdin)." in
+  Arg.(value & pos 0 string "-" & info [] ~docv:"INSTANCE" ~doc)
+
+let algorithm_conv =
+  let parse s =
+    match Migration.algorithm_of_string s with
+    | Some a -> Ok a
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown algorithm %S (auto|even-opt|hetero|saia|greedy|orbits)"
+               s))
+  in
+  Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (Migration.algorithm_to_string a))
+
+let algorithm_arg =
+  let doc =
+    "Scheduling algorithm: auto, even-opt, hetero, saia, greedy or orbits."
+  in
+  Arg.(value & opt algorithm_conv Migration.Auto & info [ "a"; "algorithm" ] ~docv:"ALG" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* generate *)
+
+let generate kind n m caps seed =
+  let rng = rng_of_seed seed in
+  let g =
+    match kind with
+    | "gnm" -> Mgraph.Graph_gen.gnm rng ~n ~m
+    | "power-law" -> Mgraph.Graph_gen.power_law rng ~n ~m
+    | "clustered" ->
+        let k = max 2 (n / 8) in
+        Mgraph.Graph_gen.clustered rng ~k ~size:(max 2 (n / k))
+          ~intra:(m / (k + 1)) ~inter:(m / (k + 1))
+    | "triangle" -> Mgraph.Graph_gen.triangle_stack (max 1 (m / 3))
+    | "fig1" -> Mgraph.Graph_gen.example_fig1 ()
+    | other ->
+        Printf.eprintf "unknown kind %S\n" other;
+        exit 2
+  in
+  let inst = Migration.Instance.random_caps rng g ~choices:caps in
+  print_string (Migration.Instance.to_string inst)
+
+let generate_cmd =
+  let kind =
+    let doc = "Graph family: gnm, power-law, clustered, triangle, fig1." in
+    Arg.(value & opt string "gnm" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let n =
+    let doc = "Number of disks." in
+    Arg.(value & opt int 16 & info [ "disks" ] ~docv:"N" ~doc)
+  in
+  let m =
+    let doc = "Number of items (edges)." in
+    Arg.(value & opt int 100 & info [ "items" ] ~docv:"M" ~doc)
+  in
+  let caps =
+    let doc = "Transfer-constraint menu, sampled per disk." in
+    Arg.(value & opt (list int) [ 1; 2; 4 ] & info [ "caps" ] ~docv:"C1,C2,..." ~doc)
+  in
+  let doc = "Generate a random migration instance." in
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(const generate $ kind $ n $ m $ caps $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bounds *)
+
+let bounds path seed =
+  let inst = read_instance path in
+  let rng = rng_of_seed seed in
+  Printf.printf "disks:       %d\n" (Migration.Instance.n_disks inst);
+  Printf.printf "items:       %d\n" (Migration.Instance.n_items inst);
+  Printf.printf "LB1:         %d\n" (Migration.Lower_bounds.lb1 inst);
+  Printf.printf "LB2 (gamma): %d\n" (Migration.Lower_bounds.lb2 ~rng inst);
+  Printf.printf "lower bound: %d\n" (Migration.Lower_bounds.lower_bound ~rng inst)
+
+let bounds_cmd =
+  let doc = "Print the paper's lower bounds for an instance." in
+  Cmd.v (Cmd.info "bounds" ~doc) Term.(const bounds $ instance_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* plan *)
+
+let plan path alg seed quiet save verbose =
+  setup_logs verbose;
+  let inst = read_instance path in
+  let rng = rng_of_seed seed in
+  let sched = Migration.plan ~rng alg inst in
+  (match Migration.Schedule.validate inst sched with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "internal error: invalid schedule: %s\n" msg;
+      exit 1);
+  Printf.printf "algorithm:   %s\n" (Migration.algorithm_to_string alg);
+  Printf.printf "rounds:      %d\n" (Migration.Schedule.n_rounds sched);
+  Printf.printf "lower bound: %d\n"
+    (Migration.Lower_bounds.lower_bound ~rng inst);
+  Printf.printf "utilization: %.2f\n"
+    (Migration.Schedule.utilization inst sched);
+  (match save with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Migration.Schedule.to_string sched);
+      close_out oc;
+      Printf.printf "saved to %s\n" path);
+  if not quiet then Format.printf "%a@." Migration.Schedule.pp sched
+
+let plan_cmd =
+  let quiet =
+    let doc = "Suppress the round-by-round listing." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let save =
+    let doc = "Write the schedule to a file (see the 'check' command)." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "Compute a migration schedule for an instance." in
+  Cmd.v (Cmd.info "plan" ~doc)
+    Term.(
+      const plan $ instance_arg $ algorithm_arg $ seed_arg $ quiet $ save
+      $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compare *)
+
+let compare_algs path seed =
+  let inst = read_instance path in
+  let rng () = rng_of_seed seed in
+  let lb = Migration.Lower_bounds.lower_bound ~rng:(rng ()) inst in
+  Printf.printf "%d disks, %d items, lower bound %d\n\n"
+    (Migration.Instance.n_disks inst)
+    (Migration.Instance.n_items inst)
+    lb;
+  Printf.printf "%-10s %8s %8s %12s\n" "algorithm" "rounds" "vs LB" "utilization";
+  List.iter
+    (fun alg ->
+      match
+        if alg = Migration.Even_opt && not (Migration.Instance.all_caps_even inst)
+        then None
+        else Some (Migration.plan ~rng:(rng ()) alg inst)
+      with
+      | None -> Printf.printf "%-10s %8s\n" (Migration.algorithm_to_string alg) "n/a"
+      | Some sched ->
+          let r = Migration.Schedule.n_rounds sched in
+          Printf.printf "%-10s %8d %7.2fx %12.2f\n"
+            (Migration.algorithm_to_string alg)
+            r
+            (if lb = 0 then 1.0 else float_of_int r /. float_of_int lb)
+            (Migration.Schedule.utilization inst sched))
+    [ Migration.Even_opt; Migration.Hetero; Migration.Saia_split; Migration.Greedy ]
+
+let compare_cmd =
+  let doc = "Run every algorithm on an instance and tabulate the results." in
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const compare_algs $ instance_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let simulate scenario n_disks n_items alg seed verbose trace =
+  setup_logs verbose;
+  let rng = rng_of_seed seed in
+  let sc =
+    match scenario with
+    | "rebalance" -> Workloads.Scenarios.rebalance rng ~n_disks ~n_items ()
+    | "add" ->
+        Workloads.Scenarios.disk_addition rng ~n_old:(max 1 (n_disks * 3 / 4))
+          ~n_new:(max 1 (n_disks / 4)) ~n_items ()
+    | "remove" ->
+        Workloads.Scenarios.disk_removal rng ~n_disks
+          ~n_remove:(max 1 (n_disks / 4)) ~n_items ()
+    | "failure" ->
+        Workloads.Scenarios.failure_recovery rng ~n_disks ~failed:0 ~n_items ()
+    | other ->
+        Printf.eprintf "unknown scenario %S (rebalance|add|remove|failure)\n" other;
+        exit 2
+  in
+  (if trace then begin
+     let job =
+       Storsim.Cluster.plan_reconfiguration sc.Workloads.Scenarios.cluster
+         ~target:sc.Workloads.Scenarios.target
+     in
+     let sched =
+       Migration.plan ~rng:(rng_of_seed seed) alg job.Storsim.Cluster.instance
+     in
+     print_string
+       (Storsim.Trace.render
+          (Storsim.Trace.capture
+             ~disks:(Storsim.Cluster.disks sc.Workloads.Scenarios.cluster)
+             job sched))
+   end);
+  let report =
+    Storsim.Simulator.run sc.Workloads.Scenarios.cluster
+      ~target:sc.Workloads.Scenarios.target
+      ~plan:(Migration.plan ~rng:(rng_of_seed seed) alg)
+  in
+  Printf.printf "scenario:  %s\n" sc.Workloads.Scenarios.name;
+  Printf.printf "algorithm: %s\n" (Migration.algorithm_to_string alg);
+  Format.printf "%a@." Storsim.Simulator.pp_report report
+
+let simulate_cmd =
+  let scenario =
+    let doc = "Scenario: rebalance, add, remove or failure." in
+    Arg.(value & pos 0 string "rebalance" & info [] ~docv:"SCENARIO" ~doc)
+  in
+  let n_disks =
+    let doc = "Number of disks." in
+    Arg.(value & opt int 12 & info [ "disks" ] ~docv:"N" ~doc)
+  in
+  let n_items =
+    let doc = "Number of items." in
+    Arg.(value & opt int 400 & info [ "items" ] ~docv:"M" ~doc)
+  in
+  let trace =
+    let doc = "Print a per-disk Gantt trace of the schedule first." in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let doc = "Run a cluster scenario end-to-end through the simulator." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      const simulate $ scenario $ n_disks $ n_items $ algorithm_arg $ seed_arg
+      $ verbose_arg $ trace)
+
+(* ------------------------------------------------------------------ *)
+(* exact *)
+
+let exact path budget =
+  let inst = read_instance path in
+  match Migration.Exact.solve ~node_budget:budget inst with
+  | Migration.Exact.Optimal sched ->
+      Printf.printf "optimal rounds: %d\n" (Migration.Schedule.n_rounds sched);
+      Format.printf "%a@." Migration.Schedule.pp sched
+  | Migration.Exact.Gave_up ->
+      Printf.printf "gave up (raise --budget, or shrink the instance)\n";
+      exit 1
+
+let exact_cmd =
+  let budget =
+    let doc = "Branch-and-bound node budget." in
+    Arg.(value & opt int 2_000_000 & info [ "budget" ] ~docv:"NODES" ~doc)
+  in
+  let doc = "Prove the optimal round count of a small instance." in
+  Cmd.v (Cmd.info "exact" ~doc) Term.(const exact $ instance_arg $ budget)
+
+(* ------------------------------------------------------------------ *)
+(* forward *)
+
+let forward path seed =
+  let inst = read_instance path in
+  let rng = rng_of_seed seed in
+  let plan, stats = Migration.Forwarding.plan_with_helpers ~rng inst in
+  (match Migration.Forwarding.validate inst plan with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "internal error: invalid plan: %s\n" msg;
+      exit 1);
+  Printf.printf "direct rounds:    %d\n" stats.Migration.Forwarding.direct_rounds;
+  Printf.printf "forwarded rounds: %d\n" stats.Migration.Forwarding.rounds;
+  Printf.printf "items relayed:    %d\n" stats.Migration.Forwarding.relayed;
+  Printf.printf "direct bound:     %d\n" stats.Migration.Forwarding.bound_before
+
+let forward_cmd =
+  let doc =
+    "Plan with forwarding through helper disks (beats the direct-transfer \
+     Γ bound when idle disks exist)."
+  in
+  Cmd.v (Cmd.info "forward" ~doc) Term.(const forward $ instance_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check *)
+
+let check_cmd_impl inst_path sched_path =
+  let inst = read_instance inst_path in
+  let sched = Migration.Schedule.of_string (read_file sched_path) in
+  match Migration.Schedule.validate inst sched with
+  | Ok () ->
+      Printf.printf "valid: %d rounds, %d items\n"
+        (Migration.Schedule.n_rounds sched)
+        (Migration.Schedule.n_items sched)
+  | Error msg ->
+      Printf.printf "INVALID: %s\n" msg;
+      exit 1
+
+let check_cmd =
+  let sched_path =
+    let doc = "Schedule file (as produced by 'plan --save')." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"SCHEDULE" ~doc)
+  in
+  let doc = "Validate a schedule file against an instance." in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const check_cmd_impl $ instance_arg $ sched_path)
+
+(* ------------------------------------------------------------------ *)
+(* analyze *)
+
+let analyze path seed =
+  let inst = read_instance path in
+  let rng = rng_of_seed seed in
+  Format.printf "%a@." Migration.Diagnostics.pp
+    (Migration.Diagnostics.analyze ~rng inst)
+
+let analyze_cmd =
+  let doc = "Summarize an instance: structure, bounds, suggested planner." in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze $ instance_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dot *)
+
+let dot path =
+  let inst = read_instance path in
+  print_string (Mgraph.Graph_io.to_dot (Migration.Instance.graph inst))
+
+let dot_cmd =
+  let doc = "Export the transfer graph as GraphViz dot." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const dot $ instance_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "heterogeneous data migration planner (ICDCS 2011 reproduction)" in
+  let info = Cmd.info "migrate" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; bounds_cmd; plan_cmd; compare_cmd; simulate_cmd;
+            exact_cmd; forward_cmd; check_cmd; dot_cmd; analyze_cmd;
+          ]))

@@ -1,0 +1,176 @@
+(* migrate-lab — parameter sweeps with CSV output.
+
+   Companion to the interactive `migrate` CLI: runs a named sweep over
+   instance families and writes one CSV per sweep, for plotting or
+   regression tracking.  Sweeps:
+
+     approx    rounds vs lower bound as instances scale (Theorem 5.1)
+     runtime   planning seconds vs instance size
+     caps      round count vs a uniform capacity multiplier
+     speedup   Figure 2's time vs M for c = 1 and c = 2
+
+   Usage:  dune exec bin/migrate_lab.exe -- [--out DIR] [sweep ...]   *)
+
+module M = Migration
+
+let rng_of seed = Random.State.make [| seed; 0x1ab |]
+
+let write_csv dir name header rows =
+  let path = Filename.concat dir (name ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (String.concat "," header);
+  output_char oc '\n';
+  List.iter
+    (fun row ->
+      output_string oc (String.concat "," row);
+      output_char oc '\n')
+    rows;
+  close_out oc;
+  Printf.printf "wrote %s (%d rows)\n%!" path (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+
+let sweep_approx dir =
+  let rows = ref [] in
+  List.iter
+    (fun (n, m) ->
+      for seed = 1 to 5 do
+        let rng = rng_of ((n * 131) + seed) in
+        let g = Mgraph.Graph_gen.gnm rng ~n ~m in
+        let inst = M.Instance.random_caps rng g ~choices:[ 1; 2; 3; 5 ] in
+        let sched, stats = M.Hetero_coloring.schedule_stats ~rng inst in
+        rows :=
+          [
+            string_of_int n;
+            string_of_int m;
+            string_of_int seed;
+            string_of_int stats.M.Hetero_coloring.lb;
+            string_of_int (M.Schedule.n_rounds sched);
+            string_of_int stats.M.Hetero_coloring.phase2_edges;
+            string_of_int stats.M.Hetero_coloring.escalations;
+          ]
+          :: !rows
+      done)
+    [ (8, 40); (16, 160); (32, 640); (48, 1500); (64, 3000) ];
+  write_csv dir "approx"
+    [ "disks"; "items"; "seed"; "lower_bound"; "rounds"; "g0_edges"; "escalations" ]
+    (List.rev !rows)
+
+let sweep_runtime dir =
+  let rows = ref [] in
+  List.iter
+    (fun (n, m) ->
+      let rng = rng_of (n + m) in
+      let g = Mgraph.Graph_gen.gnm rng ~n ~m in
+      let mixed = M.Instance.random_caps rng g ~choices:[ 1; 2; 3 ] in
+      let even = M.Instance.random_caps rng g ~choices:[ 2; 4 ] in
+      let time f =
+        let t0 = Sys.time () in
+        ignore (f ());
+        Sys.time () -. t0
+      in
+      rows :=
+        [
+          string_of_int n;
+          string_of_int m;
+          Printf.sprintf "%.4f"
+            (time (fun () -> M.Hetero_coloring.schedule ~rng:(rng_of 1) mixed));
+          Printf.sprintf "%.4f" (time (fun () -> M.Even_optimal.schedule even));
+          Printf.sprintf "%.4f"
+            (time (fun () -> M.Saia.schedule ~rng:(rng_of 2) mixed));
+        ]
+        :: !rows)
+    [ (16, 200); (32, 800); (64, 3000); (128, 10000) ];
+  write_csv dir "runtime"
+    [ "disks"; "items"; "hetero_s"; "even_opt_s"; "saia_s" ]
+    (List.rev !rows)
+
+let sweep_caps dir =
+  (* fixed transfer graph; how do rounds shrink as every disk gets
+     more parallel streams? *)
+  let rng = rng_of 77 in
+  let g = Mgraph.Graph_gen.power_law rng ~n:24 ~m:800 in
+  let rows = ref [] in
+  List.iter
+    (fun cap ->
+      let inst = M.Instance.uniform g ~cap in
+      let sched = M.plan ~rng:(rng_of cap) M.Auto inst in
+      rows :=
+        [
+          string_of_int cap;
+          string_of_int (M.Lower_bounds.lower_bound ~rng:(rng_of 3) inst);
+          string_of_int (M.Schedule.n_rounds sched);
+        ]
+        :: !rows)
+    [ 1; 2; 3; 4; 6; 8; 12; 16 ];
+  write_csv dir "caps" [ "cap"; "lower_bound"; "rounds" ] (List.rev !rows)
+
+let sweep_speedup dir =
+  let rows = ref [] in
+  List.iter
+    (fun m ->
+      let g = Mgraph.Graph_gen.triangle_stack m in
+      let time cap =
+        let inst = M.Instance.uniform g ~cap in
+        let sched = M.plan ~rng:(rng_of m) M.Auto inst in
+        let disks = Array.init 3 (fun id -> Storsim.Disk.make ~id ~cap ()) in
+        let job =
+          {
+            Storsim.Cluster.instance = inst;
+            items = Array.init (3 * m) Fun.id;
+            sources =
+              Array.init (3 * m) (fun e ->
+                  fst (Mgraph.Multigraph.endpoints g e));
+            targets =
+              Array.init (3 * m) (fun e ->
+                  snd (Mgraph.Multigraph.endpoints g e));
+          }
+        in
+        Storsim.Bandwidth.schedule_duration ~disks job sched
+      in
+      rows :=
+        [
+          string_of_int m;
+          Printf.sprintf "%.1f" (time 1);
+          Printf.sprintf "%.1f" (time 2);
+        ]
+        :: !rows)
+    [ 1; 2; 4; 8; 16; 32 ];
+  write_csv dir "speedup" [ "M"; "c1_time"; "c2_time" ] (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let sweeps =
+  [
+    ("approx", sweep_approx);
+    ("runtime", sweep_runtime);
+    ("caps", sweep_caps);
+    ("speedup", sweep_speedup);
+  ]
+
+let () =
+  let out = ref "." in
+  let selected = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: dir :: rest ->
+        out := dir;
+        parse rest
+    | name :: rest ->
+        selected := name :: !selected;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let selected =
+    if !selected = [] then List.map fst sweeps else List.rev !selected
+  in
+  if not (Sys.file_exists !out) then Sys.mkdir !out 0o755;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sweeps with
+      | Some f -> f !out
+      | None ->
+          Printf.eprintf "unknown sweep %S; available: %s\n" name
+            (String.concat " " (List.map fst sweeps));
+          exit 2)
+    selected

@@ -1,0 +1,69 @@
+(* Operations view: live request streams, execution traces, and the
+   cost of round barriers.
+
+   Shows the simulator features around the core scheduler: a request
+   stream handled online with replanning, the per-disk Gantt trace of
+   the resulting migration, and the same work executed without round
+   barriers.
+
+   Run with:  dune exec examples/online_operations.exe *)
+
+let () =
+  let rng = Random.State.make [| 404 |] in
+  let n_disks = 10 and n_items = 300 in
+  let caps = Array.init n_disks (fun i -> 1 + (i mod 3)) in
+  let disks =
+    Array.mapi (fun id cap -> Storsim.Disk.make ~id ~cap ()) caps
+  in
+  let before =
+    Storsim.Placement.create ~n_items (fun _ -> Random.State.int rng n_disks)
+  in
+
+  (* one-shot migration, traced *)
+  let target =
+    Storsim.Placement.create ~n_items (fun _ -> Random.State.int rng n_disks)
+  in
+  let cluster = Storsim.Cluster.create ~disks ~placement:before in
+  let job = Storsim.Cluster.plan_reconfiguration cluster ~target in
+  let sched = Migration.plan ~rng Migration.Hetero job.Storsim.Cluster.instance in
+  Format.printf "=== migration trace (%d moves) ===@."
+    (Migration.Instance.n_items job.Storsim.Cluster.instance);
+  print_string
+    (Storsim.Trace.render (Storsim.Trace.capture ~disks job sched));
+
+  (* the same transfers without round barriers *)
+  let barrier = Storsim.Bandwidth.schedule_duration ~disks job sched in
+  let async =
+    Storsim.Async_exec.run ~disks job (Storsim.Async_exec.By_schedule sched)
+  in
+  Format.printf
+    "@.barriers: %.1f   work-conserving: %.1f   (%.0f%% saved)@.@." barrier
+    async.Storsim.Async_exec.makespan
+    (100.0 *. (barrier -. async.Storsim.Async_exec.makespan) /. barrier);
+
+  (* a request stream handled online *)
+  let cluster2 = Storsim.Cluster.create ~disks ~placement:before in
+  let requests =
+    List.init 6 (fun k ->
+        {
+          Storsim.Online.at_round = k * 3;
+          moves =
+            List.init 20 (fun _ ->
+                (Random.State.int rng n_items, Random.State.int rng n_disks))
+            |> List.fold_left
+                 (fun acc (i, d) ->
+                   (i, d) :: List.filter (fun (j, _) -> j <> i) acc)
+                 [];
+        })
+  in
+  let report =
+    Storsim.Online.run cluster2 ~requests ~plan:(Migration.plan ~rng Migration.Auto)
+  in
+  Format.printf "=== online request stream ===@.";
+  Format.printf "6 requests, ~20 moves each, arriving every 3 rounds@.";
+  Format.printf "total rounds %d, replans %d, transfers %d@."
+    report.Storsim.Online.rounds report.Storsim.Online.replans
+    report.Storsim.Online.items_moved;
+  Array.iteri
+    (fun i l -> Format.printf "  request %d completed %d rounds after arrival@." i l)
+    report.Storsim.Online.latencies

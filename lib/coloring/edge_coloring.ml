@@ -1,0 +1,179 @@
+module Multigraph = Mgraph.Multigraph
+module Vec = Mgraph.Vec
+
+type t = {
+  g : Multigraph.t;
+  caps : int array;
+  color : int array;            (* per edge; -1 = uncolored *)
+  counts : int Vec.t array;     (* per node, indexed by color *)
+  mutable colors : int;
+  mutable n_uncolored : int;
+}
+
+let create g ~cap ~colors =
+  if colors < 0 then invalid_arg "Edge_coloring.create: negative palette";
+  let n = Multigraph.n_nodes g in
+  Multigraph.iter_edges g (fun { Multigraph.u; v; _ } ->
+      if u = v then invalid_arg "Edge_coloring.create: graph has a self-loop");
+  let caps =
+    Array.init n (fun v ->
+        let c = cap v in
+        if c <= 0 then invalid_arg "Edge_coloring.create: capacity must be positive";
+        c)
+  in
+  {
+    g;
+    caps;
+    color = Array.make (Multigraph.n_edges g) (-1);
+    counts = Array.init n (fun _ -> Vec.make ~dummy:0 colors 0);
+    colors;
+    n_uncolored = Multigraph.n_edges g;
+  }
+
+let graph t = t.g
+let cap t v = t.caps.(v)
+let n_colors t = t.colors
+
+let add_color t =
+  let c = t.colors in
+  t.colors <- t.colors + 1;
+  Array.iter (fun counts -> ignore (Vec.push counts 0)) t.counts;
+  c
+
+let check_edge t e =
+  if e < 0 || e >= Array.length t.color then invalid_arg "Edge_coloring: bad edge"
+
+let check_color t c =
+  if c < 0 || c >= t.colors then invalid_arg "Edge_coloring: color not in palette"
+
+let color_of t e =
+  check_edge t e;
+  if t.color.(e) < 0 then None else Some t.color.(e)
+
+let count t v c =
+  check_color t c;
+  Vec.get t.counts.(v) c
+
+let missing t v c = count t v c < t.caps.(v)
+let strongly_missing t v c = count t v c <= t.caps.(v) - 2
+let lightly_missing t v c = count t v c = t.caps.(v) - 1
+
+let bump t v c d = Vec.set t.counts.(v) c (Vec.get t.counts.(v) c + d)
+
+let assign t e c =
+  check_edge t e;
+  check_color t c;
+  if t.color.(e) >= 0 then invalid_arg "Edge_coloring.assign: edge already colored";
+  let u, v = Multigraph.endpoints t.g e in
+  if not (missing t u c) then
+    invalid_arg "Edge_coloring.assign: capacity overflow at first endpoint";
+  if not (missing t v c) then
+    invalid_arg "Edge_coloring.assign: capacity overflow at second endpoint";
+  t.color.(e) <- c;
+  bump t u c 1;
+  bump t v c 1;
+  t.n_uncolored <- t.n_uncolored - 1
+
+let unassign t e =
+  check_edge t e;
+  let c = t.color.(e) in
+  if c < 0 then invalid_arg "Edge_coloring.unassign: edge not colored";
+  let u, v = Multigraph.endpoints t.g e in
+  t.color.(e) <- -1;
+  bump t u c (-1);
+  bump t v c (-1);
+  t.n_uncolored <- t.n_uncolored + 1
+
+let common_missing t e =
+  check_edge t e;
+  let u, v = Multigraph.endpoints t.g e in
+  let rec loop c =
+    if c >= t.colors then None
+    else if missing t u c && missing t v c then Some c
+    else loop (c + 1)
+  in
+  loop 0
+
+let missing_colors t v =
+  let rec loop c acc =
+    if c < 0 then acc
+    else loop (c - 1) (if missing t v c then c :: acc else acc)
+  in
+  loop (t.colors - 1) []
+
+let first_missing t v =
+  let rec loop c =
+    if c >= t.colors then None else if missing t v c then Some c else loop (c + 1)
+  in
+  loop 0
+
+let n_uncolored t = t.n_uncolored
+
+let uncolored t =
+  let acc = ref [] in
+  for e = Array.length t.color - 1 downto 0 do
+    if t.color.(e) < 0 then acc := e :: !acc
+  done;
+  !acc
+
+let is_complete t = t.n_uncolored = 0
+
+let classes t =
+  let cls = Array.make t.colors [] in
+  for e = Array.length t.color - 1 downto 0 do
+    let c = t.color.(e) in
+    if c >= 0 then cls.(c) <- e :: cls.(c)
+  done;
+  cls
+
+let incident_with_color t v c =
+  check_color t c;
+  List.filter (fun e -> t.color.(e) = c) (Multigraph.incident t.g v)
+
+let validate t =
+  let n = Multigraph.n_nodes t.g in
+  let fresh = Array.init n (fun _ -> Array.make t.colors 0) in
+  let bad = ref None in
+  Array.iteri
+    (fun e c ->
+      if c >= t.colors then
+        bad := Some (Printf.sprintf "edge %d colored outside palette" e)
+      else if c >= 0 then begin
+        let u, v = Multigraph.endpoints t.g e in
+        fresh.(u).(c) <- fresh.(u).(c) + 1;
+        fresh.(v).(c) <- fresh.(v).(c) + 1
+      end)
+    t.color;
+  for v = 0 to n - 1 do
+    for c = 0 to t.colors - 1 do
+      if fresh.(v).(c) <> Vec.get t.counts.(v) c then
+        bad :=
+          Some (Printf.sprintf "stale count at node %d color %d" v c)
+      else if fresh.(v).(c) > t.caps.(v) then
+        bad :=
+          Some
+            (Printf.sprintf "capacity violated at node %d color %d (%d > %d)" v
+               c fresh.(v).(c) t.caps.(v))
+    done
+  done;
+  let counted = Array.fold_left (fun acc c -> if c < 0 then acc + 1 else acc) 0 t.color in
+  if counted <> t.n_uncolored then bad := Some "stale uncolored counter";
+  match !bad with None -> Ok () | Some msg -> Error msg
+
+let copy t =
+  {
+    g = t.g;
+    caps = Array.copy t.caps;
+    color = Array.copy t.color;
+    counts = Array.map Vec.copy t.counts;
+    colors = t.colors;
+    n_uncolored = t.n_uncolored;
+  }
+
+let restore ~snapshot t =
+  if snapshot.g != t.g then
+    invalid_arg "Edge_coloring.restore: snapshot of a different graph";
+  Array.blit snapshot.color 0 t.color 0 (Array.length t.color);
+  Array.iteri (fun v counts -> t.counts.(v) <- Vec.copy counts) snapshot.counts;
+  t.colors <- snapshot.colors;
+  t.n_uncolored <- snapshot.n_uncolored

@@ -1,0 +1,84 @@
+(** Capacitated partial edge colorings.
+
+    A coloring state tracks, for a loop-free multigraph [g] and a
+    per-node capacity [c_v], a partial assignment of palette colors to
+    edges under the invariant [E_c(v) <= c_v] for every node [v] and
+    color [c] — the paper's notion of a valid migration coloring, where
+    each color class is one round and [E_c(v)] is the number of
+    transfers disk [v] performs in round [c] (Section III).
+
+    Classic edge coloring is the special case [c_v = 1].
+
+    All mutating operations maintain the invariant and raise
+    [Invalid_argument] on violations, so algorithm bugs surface at the
+    faulty operation rather than in a corrupted result. *)
+
+type t
+
+(** [create g ~cap ~colors] starts with all edges uncolored and a
+    palette of [colors] colors named [0 .. colors-1].
+    @raise Invalid_argument if [g] has a self-loop, or some
+    [cap v <= 0]. *)
+val create : Mgraph.Multigraph.t -> cap:(int -> int) -> colors:int -> t
+
+val graph : t -> Mgraph.Multigraph.t
+val cap : t -> int -> int
+val n_colors : t -> int
+
+(** Extends the palette by one color; returns the new color. *)
+val add_color : t -> int
+
+val color_of : t -> int -> int option
+
+(** [assign t e c] colors edge [e] with [c].
+    @raise Invalid_argument if [e] is already colored, [c] is not in
+    the palette, or the assignment would overflow a capacity. *)
+val assign : t -> int -> int -> unit
+
+(** [unassign t e] removes [e]'s color.
+    @raise Invalid_argument if [e] is uncolored. *)
+val unassign : t -> int -> unit
+
+(** [count t v c] is [E_c(v)], the number of [c]-colored edges at [v]. *)
+val count : t -> int -> int -> int
+
+(** [missing t v c] iff [E_c(v) < c_v] (the paper's Definition 5.1). *)
+val missing : t -> int -> int -> bool
+
+(** [strongly_missing t v c] iff [E_c(v) <= c_v - 2]. *)
+val strongly_missing : t -> int -> int -> bool
+
+(** [lightly_missing t v c] iff [E_c(v) = c_v - 1]. *)
+val lightly_missing : t -> int -> int -> bool
+
+(** Smallest color missing at both endpoints of edge [e], if any. *)
+val common_missing : t -> int -> int option
+
+(** All palette colors missing at [v], ascending. *)
+val missing_colors : t -> int -> int list
+
+(** Smallest missing color at [v]; a valid state with palette
+    [>= ceil(d_v / c_v)]... may still have none if the node is
+    saturated in every color. *)
+val first_missing : t -> int -> int option
+
+val n_uncolored : t -> int
+val uncolored : t -> int list
+val is_complete : t -> bool
+
+(** Edges of each color class, indexed by color. *)
+val classes : t -> int list array
+
+(** Edges colored [c] incident to [v]. *)
+val incident_with_color : t -> int -> int -> int list
+
+(** Re-checks every invariant from scratch; [Ok ()] or a description
+    of the first violation.  Meant for tests and post-run audits. *)
+val validate : t -> (unit, string) result
+
+val copy : t -> t
+
+(** [restore ~snapshot t] rolls [t] back to the state captured by
+    [snapshot = copy t] earlier.  Both must stem from the same graph.
+    Used to make speculative multi-step recolorings transactional. *)
+val restore : snapshot:t -> t -> unit

@@ -1,0 +1,18 @@
+module Multigraph = Mgraph.Multigraph
+
+let color ?order g ~cap =
+  let t = Edge_coloring.create g ~cap ~colors:0 in
+  let order =
+    match order with
+    | Some o -> o
+    | None -> List.init (Multigraph.n_edges g) Fun.id
+  in
+  List.iter
+    (fun e ->
+      match Edge_coloring.common_missing t e with
+      | Some c -> Edge_coloring.assign t e c
+      | None ->
+          let c = Edge_coloring.add_color t in
+          Edge_coloring.assign t e c)
+    order;
+  t

@@ -1,0 +1,12 @@
+(** First-fit greedy capacitated edge coloring.
+
+    The naive baseline: color edges in order with the smallest color
+    missing at both endpoints, growing the palette when none fits.
+    Uses at most [max_v ceil(d_v/c_v) * 2 - 1] colors in the worst
+    case; serves as the starting partial coloring for smarter
+    algorithms and as the weakest baseline in benchmarks. *)
+
+(** [color ?order g ~cap] colors every edge.  [order] (default: edge id
+    order) lets callers try heuristics such as heaviest-node-first. *)
+val color :
+  ?order:int list -> Mgraph.Multigraph.t -> cap:(int -> int) -> Edge_coloring.t

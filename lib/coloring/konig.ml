@@ -1,0 +1,108 @@
+module Multigraph = Mgraph.Multigraph
+
+let sides g =
+  let n = Multigraph.n_nodes g in
+  let side = Array.make n (-1) in
+  let ok = ref true in
+  for start = 0 to n - 1 do
+    if side.(start) < 0 then begin
+      side.(start) <- 0;
+      let queue = Queue.create () in
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.take queue in
+        Multigraph.iter_incident g u (fun e ->
+            let w = Multigraph.other_endpoint g e u in
+            if w = u then ok := false
+            else if side.(w) < 0 then begin
+              side.(w) <- 1 - side.(u);
+              Queue.add w queue
+            end
+            else if side.(w) = side.(u) then ok := false)
+      done
+    end
+  done;
+  if !ok then Some (Array.map (fun s -> s = 1) side) else None
+
+let color g =
+  let side =
+    match sides g with
+    | Some s -> s
+    | None -> invalid_arg "Konig.color: graph is not bipartite"
+  in
+  let delta = Multigraph.max_degree g in
+  let t = Edge_coloring.create g ~cap:(fun _ -> 1) ~colors:delta in
+  if delta > 0 then begin
+    (* local index per side; sides are padded to equal size *)
+    let n = Multigraph.n_nodes g in
+    let left = ref [] and right = ref [] in
+    for v = n - 1 downto 0 do
+      if side.(v) then right := v :: !right else left := v :: !left
+    done;
+    let left = Array.of_list !left and right = Array.of_list !right in
+    let size = max (Array.length left) (Array.length right) in
+    let lidx = Hashtbl.create 16 and ridx = Hashtbl.create 16 in
+    Array.iteri (fun i v -> Hashtbl.add lidx v i) left;
+    Array.iteri (fun i v -> Hashtbl.add ridx v i) right;
+    (* padded edge list: real edges keep their graph ids in [ids] *)
+    let edges = ref [] and ids = ref [] in
+    Multigraph.iter_edges g (fun { Multigraph.id; u; v } ->
+        let l, r = if side.(u) then (v, u) else (u, v) in
+        edges := (Hashtbl.find lidx l, Hashtbl.find ridx r) :: !edges;
+        ids := id :: !ids);
+    let ldeg = Array.make size 0 and rdeg = Array.make size 0 in
+    List.iter
+      (fun (l, r) ->
+        ldeg.(l) <- ldeg.(l) + 1;
+        rdeg.(r) <- rdeg.(r) + 1)
+      !edges;
+    (* dummy edges joining under-full nodes until delta-regular *)
+    let lpos = ref 0 and rpos = ref 0 in
+    let total = ref (List.length !edges) in
+    while !total < size * delta do
+      while ldeg.(!lpos) >= delta do
+        incr lpos
+      done;
+      while rdeg.(!rpos) >= delta do
+        incr rpos
+      done;
+      edges := (!lpos, !rpos) :: !edges;
+      ids := -1 :: !ids;
+      ldeg.(!lpos) <- ldeg.(!lpos) + 1;
+      rdeg.(!rpos) <- rdeg.(!rpos) + 1;
+      incr total
+    done;
+    let edges = ref (Array.of_list !edges) and ids = ref (Array.of_list !ids) in
+    (* delta successive perfect matchings *)
+    for c = 0 to delta - 1 do
+      let caps = Array.make size 1 in
+      let problem =
+        {
+          Netflow.Bmatching.n_left = size;
+          n_right = size;
+          left_cap = caps;
+          right_cap = caps;
+          edges = !edges;
+        }
+      in
+      match Netflow.Bmatching.solve_exact problem with
+      | None ->
+          (* contradicts Hall's condition on a regular bipartite graph *)
+          assert false
+      | Some sel ->
+          let rest_edges = ref [] and rest_ids = ref [] in
+          Array.iteri
+            (fun i pair ->
+              if sel.(i) then begin
+                if !ids.(i) >= 0 then Edge_coloring.assign t !ids.(i) c
+              end
+              else begin
+                rest_edges := pair :: !rest_edges;
+                rest_ids := !ids.(i) :: !rest_ids
+              end)
+            !edges;
+          edges := Array.of_list !rest_edges;
+          ids := Array.of_list !rest_ids
+    done
+  end;
+  t

@@ -1,0 +1,145 @@
+module Multigraph = Mgraph.Multigraph
+module Ec = Edge_coloring
+
+(* Net count changes a pending flip would cause, keyed by (node, color).
+   Only walk endpoints can end up with a non-zero net change, but
+   intermediate bookkeeping is simplest kept uniformly. *)
+module Delta = struct
+  type t = (int * int, int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+  let get d k = try Hashtbl.find d k with Not_found -> 0
+  let bump d k x = Hashtbl.replace d k (get d k + x)
+end
+
+let other a b x = if x = a then b else a
+
+(* Unused edges of color [want] at [w].  [used] marks edges already on
+   the walk. *)
+let continuations t used w want =
+  List.filter
+    (fun e -> (not (Hashtbl.mem used e)) && Ec.color_of t e = Some want)
+    (Multigraph.incident (Ec.graph t) w)
+
+let pick rng = function
+  | [] -> None
+  | [ e ] -> Some e
+  | es -> (
+      match rng with
+      | None -> Some (List.hd es)
+      | Some rng -> Some (List.nth es (Random.State.int rng (List.length es))))
+
+(* Would flipping the pending walk leave a valid state, and would it
+   achieve the goal (color [a] missing at [v])?  Only the start node
+   and the current end can carry a non-zero net change. *)
+let acceptable t delta ~v ~a ~b ~here =
+  let ok_at w =
+    Ec.count t w a + Delta.get delta (w, a) <= Ec.cap t w
+    && Ec.count t w b + Delta.get delta (w, b) <= Ec.cap t w
+  in
+  ok_at v && ok_at here
+  && Ec.count t v a + Delta.get delta (v, a) < Ec.cap t v
+
+let commit t walk =
+  (* Unassign everything first so the reassignments never transiently
+     overflow: counts only grow towards the (valid) final state. *)
+  let flipped =
+    List.map
+      (fun (e, c) ->
+        Ec.unassign t e;
+        (e, c))
+      walk
+  in
+  List.iter (fun (e, c) -> Ec.assign t e c) flipped
+
+let try_free t ?rng ~v ~a ~b () =
+  if a = b then invalid_arg "Recolor.try_free: a = b";
+  if not (Ec.missing t v b) then
+    invalid_arg "Recolor.try_free: b must be missing at v";
+  if Ec.missing t v a then true
+  else begin
+    let used = Hashtbl.create 16 in
+    let delta = Delta.create () in
+    let max_steps = 2 * Multigraph.n_edges (Ec.graph t) in
+    (* walk accumulates (edge, new color) pairs *)
+    let rec grow here want walk steps =
+      if steps > max_steps then false
+      else
+        match pick rng (continuations t used here want) with
+        | None -> false
+        | Some e ->
+            Hashtbl.add used e ();
+            let next = Multigraph.other_endpoint (Ec.graph t) e here in
+            let flip_to = other a b want in
+            Delta.bump delta (here, want) (-1);
+            Delta.bump delta (here, flip_to) 1;
+            Delta.bump delta (next, want) (-1);
+            Delta.bump delta (next, flip_to) 1;
+            let walk = (e, flip_to) :: walk in
+            if acceptable t delta ~v ~a ~b ~here:next then begin
+              commit t walk;
+              true
+            end
+            else grow next (other a b want) walk (steps + 1)
+    in
+    grow v a [] 0
+  end
+
+(* Cartesian pairs (a, b) with a missing at one endpoint and b at the
+   other, capped to keep attempts bounded on large palettes. *)
+let candidate_pairs t e limit =
+  let u, v = Multigraph.endpoints (Ec.graph t) e in
+  let mu = Ec.missing_colors t u and mv = Ec.missing_colors t v in
+  let pairs = ref [] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a <> b then begin
+            (* free a at v (walk from v), or free b at u (walk from u) *)
+            pairs := (`At_v, a, b) :: (`At_u, b, a) :: !pairs
+          end)
+        mv)
+    mu;
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  take limit (List.rev !pairs)
+
+let try_color_edge t ?rng ?(flip_attempts = 32) e =
+  (match Ec.color_of t e with
+  | Some _ -> invalid_arg "Recolor.try_color_edge: edge already colored"
+  | None -> ());
+  match Ec.common_missing t e with
+  | Some c ->
+      Ec.assign t e c;
+      true
+  | None ->
+      let u, v = Multigraph.endpoints (Ec.graph t) e in
+      let rec attempt = function
+        | [] -> false
+        | (site, a, b) :: rest ->
+            (* [a] is missing at one endpoint; try to free it at the
+               other by flipping away from there along an a/b walk. *)
+            let target = match site with `At_v -> v | `At_u -> u in
+            let flipped =
+              Ec.missing t target b
+              && (not (Ec.missing t target a))
+              && try_free t ?rng ~v:target ~a ~b ()
+            in
+            if flipped && Ec.missing t u a && Ec.missing t v a then begin
+              Ec.assign t e a;
+              true
+            end
+            else
+              (* the flip (if any) may have changed the landscape; a
+                 common color can appear for free *)
+              (match Ec.common_missing t e with
+              | Some c ->
+                  Ec.assign t e c;
+                  true
+              | None -> attempt rest)
+      in
+      attempt (candidate_pairs t e flip_attempts)

@@ -1,0 +1,36 @@
+(** Capacitated alternating-path recoloring (Kempe chains).
+
+    In classic edge coloring, an [ab]-alternating path can be flipped
+    to move a missing color from one node to another.  With transfer
+    constraints [c_v > 1] the paper observes (Section V-B) that these
+    paths "may not be simple": a node can carry up to [c_v] edges of
+    each color, so the alternating structure is a walk that may revisit
+    nodes.  This module implements the sound generalization: it grows
+    an alternating walk edge by edge, tracking the net count change the
+    pending flip would cause at every touched node, and only commits a
+    flip whose end state satisfies every capacity — which is exactly
+    the flip the paper's orbit lemmas (5.1, 5.2) need to exist.
+
+    All operations either mutate the coloring into another valid state
+    or leave it untouched and return [false]. *)
+
+(** [try_free t ?rng ~v ~a ~b] attempts to make color [a] missing at
+    [v] by flipping an [a]/[b]-alternating walk that starts at [v]
+    along an [a]-colored edge.  Preconditions checked: [a <> b] and
+    [b] missing at [v] (otherwise [Invalid_argument]).  If [a] is
+    already missing at [v], returns [true] without touching anything.
+    [rng] randomizes tie-breaking among parallel continuation edges so
+    that callers can retry with different walks. *)
+val try_free :
+  Edge_coloring.t -> ?rng:Random.State.t -> v:int -> a:int -> b:int -> unit -> bool
+
+(** [try_color_edge t ?rng ?flip_attempts e] tries to color the
+    uncolored edge [e] within the current palette:
+    first with a color missing at both endpoints, then by Kempe flips
+    that make some color common (trying up to [flip_attempts]
+    endpoint/color-pair combinations, default 32).  Returns [true] on
+    success; on [false] the coloring may have been perturbed by
+    partial flips but is still valid and [e] is still uncolored.
+    @raise Invalid_argument if [e] is already colored. *)
+val try_color_edge :
+  Edge_coloring.t -> ?rng:Random.State.t -> ?flip_attempts:int -> int -> bool

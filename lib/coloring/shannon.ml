@@ -1,0 +1,20 @@
+module Multigraph = Mgraph.Multigraph
+module Ec = Edge_coloring
+
+let bound g = 3 * Multigraph.max_degree g / 2
+
+let color ?rng g =
+  let delta = Multigraph.max_degree g in
+  let t = Ec.create g ~cap:(fun _ -> 1) ~colors:(max 1 delta) in
+  let retries = 8 in
+  Multigraph.iter_edges g (fun { Multigraph.id = e; _ } ->
+      let rec attempt k =
+        if Recolor.try_color_edge t ?rng e then ()
+        else if k > 0 then attempt (k - 1)
+        else begin
+          let c = Ec.add_color t in
+          Ec.assign t e c
+        end
+      in
+      attempt retries);
+  t

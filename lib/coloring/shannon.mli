@@ -1,0 +1,22 @@
+(** Multigraph edge coloring within Shannon's bound.
+
+    Shannon's theorem: any loop-free multigraph can be edge-colored
+    with at most [floor(3Δ/2)] colors.  This is what Saia's
+    1.5-approximation (the paper's main baseline, Section I) applies
+    after splitting nodes, and the homogeneous [c_v = 1] migration
+    baseline of Hall et al.
+
+    The implementation is greedy coloring with capacitated Kempe-walk
+    repair ({!Recolor}), starting from a palette of [Δ] and escalating
+    one color at a time only when an edge survives every repair
+    attempt.  The palette never needs to pass [floor(3Δ/2)] in theory;
+    the test suite asserts the bound holds on randomized instances and
+    {!last_palette} exposes the achieved size. *)
+
+(** Shannon's bound [floor(3Δ/2)] for [g] (at least 1 when [g] has an
+    edge). *)
+val bound : Mgraph.Multigraph.t -> int
+
+(** [color ?rng g] is a complete unit-capacity coloring of [g].
+    @raise Invalid_argument if [g] has a self-loop. *)
+val color : ?rng:Random.State.t -> Mgraph.Multigraph.t -> Edge_coloring.t

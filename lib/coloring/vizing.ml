@@ -1,0 +1,140 @@
+module Multigraph = Mgraph.Multigraph
+module Ec = Edge_coloring
+
+let fallbacks = ref 0
+let last_fallbacks () = !fallbacks
+
+(* With palette Δ+1 and unit capacities every node always has a free
+   color. *)
+let free t v =
+  match Ec.first_missing t v with
+  | Some c -> c
+  | None -> invalid_arg "Vizing: node saturated in every color"
+
+(* The unique edge at [v] colored [c] (unit capacities), if any. *)
+let edge_with_color t v c =
+  match Ec.incident_with_color t v c with
+  | [] -> None
+  | e :: _ -> Some e
+
+(* Maximal fan of [u] starting at [x]: a sequence of distinct neighbors
+   [f0 = x, f1, ...] such that edge (u, f_{i+1}) is colored and its
+   color is missing at [f_i]. *)
+let build_fan t u x =
+  let g = Ec.graph t in
+  let in_fan = Hashtbl.create 8 in
+  Hashtbl.add in_fan x ();
+  let rec extend last acc =
+    let next =
+      List.find_map
+        (fun e ->
+          match Ec.color_of t e with
+          | None -> None
+          | Some c ->
+              let w = Multigraph.other_endpoint g e u in
+              if (not (Hashtbl.mem in_fan w)) && Ec.missing t last c then
+                Some (w, e)
+              else None)
+        (Multigraph.incident g u)
+    in
+    match next with
+    | None -> List.rev acc
+    | Some (w, e) ->
+        Hashtbl.add in_fan w ();
+        extend w ((w, Some e) :: acc)
+  in
+  extend x [ (x, None) ]
+
+(* Rotate the fan prefix [f0 .. fj]: shift each fan edge's color one
+   step towards [u]'s uncolored edge, leaving (u, fj) uncolored. *)
+let rotate t e0 fan_prefix =
+  let rec loop prev_edge = function
+    | [] -> prev_edge
+    | (_, Some e) :: rest ->
+        let c = Option.get (Ec.color_of t e) in
+        Ec.unassign t e;
+        Ec.assign t prev_edge c;
+        loop e rest
+    | (_, None) :: _ -> invalid_arg "Vizing.rotate: uncolored fan edge"
+  in
+  match fan_prefix with
+  | [] -> e0
+  | (_, None) :: rest -> loop e0 rest
+  | _ -> invalid_arg "Vizing.rotate: fan must start at the uncolored edge"
+
+(* Flip the cd-path starting at [u]: [c] is free at [u], so the
+   component of [u] in the {c, d}-subgraph is a path beginning with a
+   d-edge (if any).  Swapping colors along it frees [d] at [u]. *)
+let invert_cd_path t u c d =
+  let g = Ec.graph t in
+  let rec collect v want acc =
+    match edge_with_color t v want with
+    | None -> acc
+    | Some e ->
+        let w = Multigraph.other_endpoint g e v in
+        collect w (if want = c then d else c) ((e, if want = c then d else c) :: acc)
+  in
+  let path = collect u d [] in
+  List.iter (fun (e, _) -> Ec.unassign t e) path;
+  List.iter (fun (e, c') -> Ec.assign t e c') path
+
+(* Longest prefix of [fan] that is still a fan under the current
+   coloring (colors may have changed after the path inversion). *)
+let valid_prefix t fan =
+  let rec loop acc last = function
+    | [] -> List.rev acc
+    | ((w, Some e) as entry) :: rest -> (
+        match Ec.color_of t e with
+        | Some c when Ec.missing t last c -> loop (entry :: acc) w rest
+        | _ -> List.rev acc)
+    | (_, None) :: _ -> List.rev acc
+  in
+  match fan with
+  | [] -> []
+  | ((x, None) as first) :: rest -> loop [ first ] x rest
+  | _ -> invalid_arg "Vizing.valid_prefix"
+
+let color_edge t u e0 =
+  let g = Ec.graph t in
+  let x = Multigraph.other_endpoint g e0 u in
+  let fan = build_fan t u x in
+  let last, _ = List.nth fan (List.length fan - 1) in
+  let c = free t u in
+  let d = free t last in
+  if Ec.missing t u d then begin
+    (* rotate the whole fan and finish with d *)
+    let e_last = rotate t e0 fan in
+    Ec.assign t e_last d
+  end
+  else begin
+    invert_cd_path t u c d;
+    (* after inversion d is free at u; find a fan vertex where d is
+       free and whose prefix survived the recoloring *)
+    let prefix = valid_prefix t fan in
+    let rec split acc = function
+      | [] -> None
+      | ((w, _) as entry) :: rest ->
+          if Ec.missing t w d then Some (List.rev (entry :: acc)) else split (entry :: acc) rest
+    in
+    match split [] prefix with
+    | Some sub_fan ->
+        let e_last = rotate t e0 sub_fan in
+        Ec.assign t e_last d
+    | None ->
+        (* Should be unreachable by the Misra–Gries invariant; recover
+           soundly rather than crash. *)
+        incr fallbacks;
+        if not (Recolor.try_color_edge t e0) then begin
+          let c' = Ec.add_color t in
+          Ec.assign t e0 c'
+        end
+  end
+
+let color g =
+  if not (Multigraph.is_simple g) then
+    invalid_arg "Vizing.color: graph must be simple";
+  fallbacks := 0;
+  let palette = Multigraph.max_degree g + 1 in
+  let t = Ec.create g ~cap:(fun _ -> 1) ~colors:(max 1 palette) in
+  Multigraph.iter_edges g (fun { Multigraph.id; u; _ } -> color_edge t u id);
+  t

@@ -1,0 +1,18 @@
+(** Vizing edge coloring of simple graphs (Misra–Gries).
+
+    Colors any simple graph with at most [Δ + 1] colors in
+    O(V E) time.  This is the Phase-2 workhorse of the paper's general
+    algorithm (Section V-C3): after splitting each node into [c_v]
+    copies, the residual simple graph [G0] is Vizing-colored and the
+    copies are contracted back. *)
+
+(** [color g] is a complete coloring of the simple graph [g] (all
+    capacities 1) using at most [max_degree g + 1] colors.
+    @raise Invalid_argument if [g] is not simple. *)
+val color : Mgraph.Multigraph.t -> Edge_coloring.t
+
+(** Number of times the defensive fallback path (palette extension
+    beyond [Δ + 1]) fired during the last {!color} call.  Always [0]
+    if the Misra–Gries invariants hold; exposed so the test suite can
+    assert exactly that. *)
+val last_fallbacks : unit -> int

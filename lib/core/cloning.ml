@@ -1,0 +1,215 @@
+type demand = { sources : int list; destinations : int list }
+type t = { n : int; caps : int array; demands : demand array }
+type transfer = { item : int; src : int; dst : int }
+
+let create ~n_disks ~caps demands =
+  if Array.length caps <> n_disks then
+    invalid_arg "Cloning.create: one capacity per disk";
+  Array.iter
+    (fun c -> if c < 1 then invalid_arg "Cloning.create: capacity must be >= 1")
+    caps;
+  Array.iter
+    (fun d ->
+      if d.sources = [] then invalid_arg "Cloning.create: empty source set";
+      let check_set name set =
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun v ->
+            if v < 0 || v >= n_disks then
+              invalid_arg ("Cloning.create: bad disk in " ^ name);
+            if Hashtbl.mem seen v then
+              invalid_arg ("Cloning.create: duplicate disk in " ^ name);
+            Hashtbl.add seen v ())
+          set
+      in
+      check_set "sources" d.sources;
+      check_set "destinations" d.destinations)
+    demands;
+  { n = n_disks; caps; demands }
+
+let n_disks t = t.n
+let n_items t = Array.length t.demands
+let demand t i =
+  if i < 0 || i >= n_items t then invalid_arg "Cloning.demand";
+  t.demands.(i)
+
+let ceil_div a b = (a + b - 1) / b
+
+let lower_bound t =
+  (* doubling bound per item (holders at most double per round even
+     with large capacities only when... with c_v >= 1 each holder can
+     spawn c_v copies, so growth is by factor (1 + min caps observed);
+     we use the conservative doubling bound with the max cap) *)
+  let cmax = Array.fold_left max 1 t.caps in
+  let doubling =
+    Array.fold_left
+      (fun acc d ->
+        let s = List.length d.sources in
+        let unmet =
+          List.length
+            (List.filter (fun v -> not (List.mem v d.sources)) d.destinations)
+        in
+        if unmet = 0 then acc
+        else
+          (* holders grow at most (1 + cmax)x per round *)
+          let growth = 1 + cmax in
+          let rec rounds k have =
+            if have >= s + unmet then k else rounds (k + 1) (have * growth)
+          in
+          max acc (max 1 (rounds 0 s))
+        )
+      0 t.demands
+  in
+  (* receiver load bound *)
+  let incoming = Array.make t.n 0 in
+  Array.iter
+    (fun d ->
+      List.iter
+        (fun v ->
+          if not (List.mem v d.sources) then incoming.(v) <- incoming.(v) + 1)
+        d.destinations)
+    t.demands;
+  let receiver =
+    let best = ref 0 in
+    for v = 0 to t.n - 1 do
+      best := max !best (ceil_div incoming.(v) t.caps.(v))
+    done;
+    !best
+  in
+  max doubling receiver
+
+let plan ?rng t =
+  ignore rng;
+  let m = n_items t in
+  let holders = Array.map (fun _ -> Hashtbl.create 8) t.demands in
+  Array.iteri
+    (fun i d -> List.iter (fun v -> Hashtbl.replace holders.(i) v ()) d.sources)
+    t.demands;
+  let unmet =
+    Array.mapi
+      (fun i d ->
+        ref
+          (List.filter (fun v -> not (Hashtbl.mem holders.(i) v)) d.destinations))
+      t.demands
+  in
+  let pending = ref 0 in
+  Array.iter (fun u -> pending := !pending + List.length !u) unmet;
+  (* receiver pressure: how many unmet arrivals each disk still owes;
+     the receiver-load lower bound says the hottest disk dictates the
+     round count, so those disks must be served every single round *)
+  let in_demand = Array.make t.n 0 in
+  Array.iter
+    (fun u -> List.iter (fun d -> in_demand.(d) <- in_demand.(d) + 1) !u)
+    unmet;
+  let rounds = ref [] in
+  while !pending > 0 do
+    let streams = Array.make t.n 0 in
+    let free v = streams.(v) < t.caps.(v) in
+    let transfers = ref [] in
+    (* repeatedly serve the hottest receiver that still has a
+       (free destination slot, unmet item with a free holder) pair *)
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      (* candidate items, most starved first (many unmet, few holders) *)
+      let items =
+        List.init m Fun.id
+        |> List.filter (fun i -> !(unmet.(i)) <> [])
+        |> List.sort (fun a b ->
+               let key i =
+                 (List.length !(unmet.(i)), -Hashtbl.length holders.(i))
+               in
+               compare (key b) (key a))
+      in
+      List.iter
+        (fun i ->
+          (* among this item's free unmet destinations, serve the one
+             under the most remaining pressure *)
+          let free_dests = List.filter free !(unmet.(i)) in
+          match
+            List.fold_left
+              (fun acc d ->
+                match acc with
+                | None -> Some d
+                | Some b -> if in_demand.(d) > in_demand.(b) then Some d else acc)
+              None free_dests
+          with
+          | None -> ()
+          | Some dst ->
+              let src =
+                Hashtbl.fold
+                  (fun v () acc ->
+                    match acc with
+                    | Some _ -> acc
+                    | None -> if free v then Some v else None)
+                  holders.(i) None
+              in
+              (match src with
+              | None -> ()
+              | Some src ->
+                  streams.(src) <- streams.(src) + 1;
+                  streams.(dst) <- streams.(dst) + 1;
+                  transfers := { item = i; src; dst } :: !transfers;
+                  unmet.(i) := List.filter (fun d -> d <> dst) !(unmet.(i));
+                  in_demand.(dst) <- in_demand.(dst) - 1;
+                  decr pending;
+                  progress := true))
+        items
+    done;
+    (* a round always serves someone: take any unmet destination; its
+       target and some holder are stream-free at round start *)
+    assert (!transfers <> [] || !pending = 0);
+    if !transfers <> [] then begin
+      (* new copies become holders only after the round ends *)
+      List.iter
+        (fun tr -> Hashtbl.replace holders.(tr.item) tr.dst ())
+        !transfers;
+      rounds := List.rev !transfers :: !rounds
+    end
+  done;
+  Array.of_list (List.rev !rounds)
+
+let validate t plan =
+  let holders = Array.map (fun _ -> Hashtbl.create 8) t.demands in
+  Array.iteri
+    (fun i d -> List.iter (fun v -> Hashtbl.replace holders.(i) v ()) d.sources)
+    t.demands;
+  let err = ref None in
+  let set_err msg = if !err = None then err := Some msg in
+  Array.iteri
+    (fun r transfers ->
+      let streams = Array.make t.n 0 in
+      List.iter
+        (fun tr ->
+          if tr.item < 0 || tr.item >= n_items t then
+            set_err (Printf.sprintf "round %d: unknown item %d" r tr.item)
+          else begin
+            if not (Hashtbl.mem holders.(tr.item) tr.src) then
+              set_err
+                (Printf.sprintf "round %d: disk %d does not hold item %d" r
+                   tr.src tr.item);
+            streams.(tr.src) <- streams.(tr.src) + 1;
+            streams.(tr.dst) <- streams.(tr.dst) + 1
+          end)
+        transfers;
+      Array.iteri
+        (fun v s ->
+          if s > t.caps.(v) then
+            set_err
+              (Printf.sprintf "round %d: disk %d runs %d transfers (c=%d)" r v
+                 s t.caps.(v)))
+        streams;
+      (* copies land at the end of the round *)
+      List.iter
+        (fun tr -> Hashtbl.replace holders.(tr.item) tr.dst ())
+        transfers)
+    plan;
+  Array.iteri
+    (fun i d ->
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem holders.(i) v) then
+            set_err (Printf.sprintf "item %d never reaches disk %d" i v))
+        d.destinations)
+    t.demands;
+  match !err with None -> Ok () | Some msg -> Error msg

@@ -1,0 +1,51 @@
+(** Data migration with cloning (the model of Khuller, Kim & Wan,
+    discussed in the paper's Section II), generalized to heterogeneous
+    transfer constraints.
+
+    Each data item [i] starts on a {e source set} [S_i] of disks and
+    must end up on a {e destination set} [D_i] as well (copies are
+    created, not moved — the fault-tolerance and hot-item use case).
+    Any disk holding a copy can serve it to others in later rounds, so
+    the copy count of an item can grow like a broadcast tree.  A disk
+    [v] takes part in at most [c_v] transfers per round, sending or
+    receiving.
+
+    Two lower bounds generalize the paper's Section III to cloning:
+
+    - doubling: an item held by [s] disks reaches at most [2s] holders
+      per round (with [c_v = 1]); it needs at least
+      [ceil(log2((s + unmet)/s))] rounds;
+    - receiver load: disk [v] must receive one copy of every item with
+      [v] in its destination set, at most [c_v] per round.
+
+    The planner is a greedy round-builder: each round matches free
+    holders to unmet destinations, most-starved items first.  It is
+    guaranteed to terminate (every round serves at least one unmet
+    destination) and its output always passes {!validate}. *)
+
+type demand = {
+  sources : int list;       (** disks already holding the item *)
+  destinations : int list;  (** disks that must hold it at the end *)
+}
+
+type t
+
+type transfer = { item : int; src : int; dst : int }
+
+(** @raise Invalid_argument on empty source sets, out-of-range disks,
+    duplicate entries, or non-positive capacities. *)
+val create : n_disks:int -> caps:int array -> demand array -> t
+
+val n_disks : t -> int
+val n_items : t -> int
+val demand : t -> int -> demand
+
+(** [max] of the doubling and receiver-load bounds. *)
+val lower_bound : t -> int
+
+(** Rounds of transfers. *)
+val plan : ?rng:Random.State.t -> t -> transfer list array
+
+(** Checks transfer constraints, that every transfer's source holds a
+    copy when the round starts, and that every destination is served. *)
+val validate : t -> transfer list array -> (unit, string) result

@@ -1,0 +1,108 @@
+module Multigraph = Mgraph.Multigraph
+
+let item_completion_sum ?(weights = fun _ -> 1.0) sched =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i items ->
+      List.iter
+        (fun e -> total := !total +. (weights e *. float_of_int (i + 1)))
+        items)
+    (Schedule.rounds sched);
+  !total
+
+let disks_of_round g items =
+  List.concat_map
+    (fun e ->
+      let u, v = Multigraph.endpoints g e in
+      [ u; v ])
+    items
+  |> List.sort_uniq compare
+
+let disk_completion_sum ?(weights = fun _ -> 1.0) inst sched =
+  let g = Instance.graph inst in
+  let last = Array.make (Instance.n_disks inst) 0 in
+  Array.iteri
+    (fun i items ->
+      List.iter (fun d -> last.(d) <- i + 1) (disks_of_round g items))
+    (Schedule.rounds sched);
+  let total = ref 0.0 in
+  Array.iteri
+    (fun d l -> if l > 0 then total := !total +. (weights d *. float_of_int l))
+    last;
+  !total
+
+let reorder_for_items sched =
+  let rounds = Schedule.rounds sched in
+  let order = Array.init (Array.length rounds) Fun.id in
+  Array.sort
+    (fun a b -> compare (List.length rounds.(b)) (List.length rounds.(a)))
+    order;
+  Schedule.of_rounds (Array.map (fun i -> rounds.(i)) order)
+
+(* exact search over round permutations, for small schedules *)
+let exact_disk_order weights inst rounds =
+  let k = Array.length rounds in
+  let best_cost = ref infinity and best = ref (Array.init k Fun.id) in
+  let perm = Array.init k Fun.id in
+  let rec permute i =
+    if i = k then begin
+      let sched = Schedule.of_rounds (Array.map (fun j -> rounds.(j)) perm) in
+      let cost = disk_completion_sum ~weights inst sched in
+      if cost < !best_cost then begin
+        best_cost := cost;
+        best := Array.copy perm
+      end
+    end
+    else
+      for j = i to k - 1 do
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t;
+        permute (i + 1);
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t
+      done
+  in
+  permute 0;
+  Array.map (fun j -> rounds.(j)) !best
+
+(* backward greedy: repeatedly move to the last remaining slot the
+   round whose disk-weight is smallest — those disks pay the late
+   completion no matter what, so spend the cheap ones there *)
+let greedy_disk_order weights inst rounds =
+  let g = Instance.graph inst in
+  let k = Array.length rounds in
+  let weight_of r =
+    List.fold_left (fun acc d -> acc +. weights d) 0.0 (disks_of_round g rounds.(r))
+  in
+  let remaining = ref (List.init k Fun.id) in
+  let result = Array.make k [] in
+  for slot = k - 1 downto 0 do
+    match !remaining with
+    | [] -> assert false
+    | first :: _ ->
+        let pick =
+          List.fold_left
+            (fun acc r -> if weight_of r < weight_of acc then r else acc)
+            first !remaining
+        in
+        result.(slot) <- rounds.(pick);
+        remaining := List.filter (fun r -> r <> pick) !remaining
+  done;
+  result
+
+let reorder_for_disks ?(weights = fun _ -> 1.0) ?(exact_limit = 7) inst sched =
+  let rounds = Schedule.rounds sched in
+  let rounds' =
+    if Array.length rounds <= exact_limit then
+      exact_disk_order weights inst rounds
+    else greedy_disk_order weights inst rounds
+  in
+  (* the greedy path carries no guarantee; never return a worse order *)
+  let candidate = Schedule.of_rounds rounds' in
+  if
+    disk_completion_sum ~weights inst candidate
+    <= disk_completion_sum ~weights inst sched
+  then candidate
+  else sched

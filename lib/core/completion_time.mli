@@ -1,0 +1,45 @@
+(** Completion-time objectives over migration schedules.
+
+    The paper minimizes the makespan (number of rounds).  Its related
+    work (Section II) discusses two other objectives from the data
+    migration literature:
+
+    - the sum of (weighted) {e item} completion times — an item
+      finishing in round [r] has completion time [r] (1-based); Kim's
+      LP-based 9-approximation and the 5.06 of Gandhi et al. target
+      this;
+    - the sum of (weighted) {e disk} completion times — a disk is
+      "degraded while it is involved in the migration" and completes
+      at its last busy round; Kim's 10-approximation, improved to 7.68.
+
+    Given a fixed set of rounds (color classes), both objectives
+    depend only on the {e order} of the rounds.  This module evaluates
+    them and optimizes the round order:
+
+    - for items, placing larger rounds first is exactly optimal (an
+      exchange argument: swapping a smaller-earlier/larger-later pair
+      never increases the sum);
+    - for disks, ordering is NP-hard in general; a backward greedy
+      (schedule last the round whose disks weigh least) plus an exact
+      permutation search for few rounds are provided. *)
+
+(** Sum of item completion times; [weights] maps item (edge id) to its
+    weight (default all 1). *)
+val item_completion_sum :
+  ?weights:(int -> float) -> Schedule.t -> float
+
+(** Sum of disk completion times: each disk contributes its last busy
+    round (disks never scheduled contribute 0). *)
+val disk_completion_sum :
+  ?weights:(int -> float) -> Instance.t -> Schedule.t -> float
+
+(** Reorders rounds by decreasing size — provably optimal for the
+    unweighted item objective among reorderings. *)
+val reorder_for_items : Schedule.t -> Schedule.t
+
+(** Backward-greedy reordering for the disk objective; falls back to
+    exact permutation search when the schedule has at most
+    [exact_limit] rounds (default 7). *)
+val reorder_for_disks :
+  ?weights:(int -> float) -> ?exact_limit:int -> Instance.t -> Schedule.t ->
+  Schedule.t

@@ -1,0 +1,45 @@
+type result = {
+  schedule : Schedule.t;
+  moved : int list;
+  deferred : int list;
+  moved_weight : float;
+  total_weight : float;
+}
+
+let base_plan ?rng inst =
+  if Instance.all_caps_even inst then Even_optimal.schedule inst
+  else Hetero_coloring.schedule ?rng inst
+
+let plan_window ?rng ?(weights = fun _ -> 1.0) inst ~budget =
+  if budget < 0 then invalid_arg "Deadline.plan_window: negative budget";
+  let full = base_plan ?rng inst in
+  let rounds = Schedule.rounds full in
+  let weight_of edges = List.fold_left (fun acc e -> acc +. weights e) 0.0 edges in
+  let order = Array.init (Array.length rounds) Fun.id in
+  Array.sort
+    (fun a b -> compare (weight_of rounds.(b)) (weight_of rounds.(a)))
+    order;
+  let keep = Array.make (Array.length rounds) false in
+  Array.iteri (fun rank r -> if rank < budget then keep.(r) <- true) order;
+  let kept = ref [] and moved = ref [] and deferred = ref [] in
+  Array.iteri
+    (fun r edges ->
+      if keep.(r) then begin
+        kept := edges :: !kept;
+        moved := edges @ !moved
+      end
+      else deferred := edges @ !deferred)
+    rounds;
+  (* keep the heaviest-first execution order inside the window, so an
+     early abort still moved the most valuable items *)
+  let kept_rounds =
+    List.sort (fun a b -> compare (weight_of b) (weight_of a)) !kept
+  in
+  {
+    schedule = Schedule.of_rounds (Array.of_list kept_rounds);
+    moved = List.sort compare !moved;
+    deferred = List.sort compare !deferred;
+    moved_weight = weight_of !moved;
+    total_weight =
+      Array.fold_left (fun acc edges -> acc +. weight_of edges) 0.0 rounds;
+  }

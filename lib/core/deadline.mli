@@ -1,0 +1,29 @@
+(** Deadline-constrained (partial) migration.
+
+    The paper's motivation is that "the storage system will perform
+    sub-optimally until migrations are finished" — but operators often
+    have the dual problem: a fixed maintenance window of [budget]
+    rounds, and the question of {e which} items to move inside it to
+    recover the most performance.
+
+    Strategy: plan a full schedule with the usual machinery, then keep
+    the [budget] rounds of largest total weight.  Rounds are mutually
+    independent (each is feasible on its own), so any subset of rounds
+    is a feasible partial migration; choosing the heaviest subset is
+    optimal {e relative to the computed schedule}.  Items in dropped
+    rounds are reported as deferred, ready to seed the next window. *)
+
+type result = {
+  schedule : Schedule.t;   (** at most [budget] rounds, feasible *)
+  moved : int list;        (** edge ids migrated inside the window *)
+  deferred : int list;     (** edge ids left for a later window *)
+  moved_weight : float;
+  total_weight : float;
+}
+
+(** [plan_window ?rng ?weights inst ~budget] — [weights] maps edge ids
+    to importance (default 1.0, i.e. maximize item count).
+    @raise Invalid_argument if [budget < 0]. *)
+val plan_window :
+  ?rng:Random.State.t -> ?weights:(int -> float) -> Instance.t ->
+  budget:int -> result

@@ -1,0 +1,78 @@
+module Multigraph = Mgraph.Multigraph
+module Stats = Mgraph.Stats
+
+type report = {
+  disks : int;
+  items : int;
+  components : int;
+  degrees : Stats.summary;
+  degree_ratios : Stats.summary;
+  cap_histogram : (int * int) list;
+  max_multiplicity : int;
+  all_caps_even : bool;
+  lb1 : int;
+  lb2 : int;
+  binding_bound : [ `Degree | `Gamma | `Tie ];
+  suggested_algorithm : string;
+}
+
+let analyze ?rng inst =
+  let g = Instance.graph inst in
+  let n = Instance.n_disks inst in
+  let degrees =
+    Stats.summarize
+      (List.init (max n 1) (fun v ->
+           if v < n then float_of_int (Multigraph.degree g v) else 0.0))
+  in
+  let degree_ratios =
+    Stats.summarize
+      (List.init (max n 1) (fun v ->
+           if v < n then float_of_int (Instance.degree_ratio inst v) else 0.0))
+  in
+  let hist = Hashtbl.create 8 in
+  Array.iter
+    (fun c -> Hashtbl.replace hist c (1 + (try Hashtbl.find hist c with Not_found -> 0)))
+    (Instance.caps inst);
+  let cap_histogram =
+    Hashtbl.fold (fun c k acc -> (c, k) :: acc) hist [] |> List.sort compare
+  in
+  let lb1 = Lower_bounds.lb1 inst in
+  let lb2 = Lower_bounds.lb2 ?rng inst in
+  {
+    disks = n;
+    items = Instance.n_items inst;
+    components = Mgraph.Traversal.n_components g;
+    degrees;
+    degree_ratios;
+    cap_histogram;
+    max_multiplicity = Multigraph.max_multiplicity g;
+    all_caps_even = Instance.all_caps_even inst;
+    lb1;
+    lb2;
+    binding_bound =
+      (if lb1 > lb2 then `Degree else if lb2 > lb1 then `Gamma else `Tie);
+    suggested_algorithm =
+      (if Instance.all_caps_even inst then "even-opt (provably optimal)"
+       else "hetero ((1+o(1))-approximation)");
+  }
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "disks:            %d (%d components)@," r.disks
+    r.components;
+  Format.fprintf ppf "items:            %d (max multiplicity %d)@," r.items
+    r.max_multiplicity;
+  Format.fprintf ppf "degrees:          %a@," Stats.pp_summary r.degrees;
+  Format.fprintf ppf "degree ratios:    %a@," Stats.pp_summary r.degree_ratios;
+  Format.fprintf ppf "constraints:      %s%s@,"
+    (String.concat ", "
+       (List.map
+          (fun (c, k) -> Printf.sprintf "c=%d x%d" c k)
+          r.cap_histogram))
+    (if r.all_caps_even then "  (all even)" else "");
+  Format.fprintf ppf "LB1 / Γ:          %d / %d (%s binds)@," r.lb1 r.lb2
+    (match r.binding_bound with
+    | `Degree -> "degree bound"
+    | `Gamma -> "Γ"
+    | `Tie -> "tie");
+  Format.fprintf ppf "suggested:        %s@]" r.suggested_algorithm

@@ -1,0 +1,130 @@
+module Multigraph = Mgraph.Multigraph
+
+(* Steps 1-3: pad to degree exactly c_v * delta and Euler-orient.
+   Returns the padded graph (edges 0..m-1 are the real transfers) and
+   the orientation. *)
+let padded_orientation inst delta =
+  let g = Instance.graph inst in
+  let n = Multigraph.n_nodes g in
+  let g' = Multigraph.create ~n () in
+  Multigraph.iter_edges g (fun { Multigraph.u; v; _ } ->
+      ignore (Multigraph.add_edge g' u v));
+  let target v = Instance.cap inst v * delta in
+  for v = 0 to n - 1 do
+    while Multigraph.degree g' v <= target v - 2 do
+      ignore (Multigraph.add_edge g' v v)
+    done
+  done;
+  (* nodes still one short have odd original degree; they are even in
+     number (handshake) — pair them with dummy edges *)
+  let deficient = ref [] in
+  for v = n - 1 downto 0 do
+    if Multigraph.degree g' v = target v - 1 then deficient := v :: !deficient
+  done;
+  let rec pair = function
+    | [] -> ()
+    | [ _ ] -> assert false (* impossible by parity *)
+    | a :: b :: rest ->
+        ignore (Multigraph.add_edge g' a b);
+        pair rest
+  in
+  pair !deficient;
+  for v = 0 to n - 1 do
+    assert (Multigraph.degree g' v = target v)
+  done;
+  (g', Mgraph.Euler.orientation g')
+
+(* Step 4, the paper's version: delta successive exact c_v/2-degree
+   subgraphs of H extracted by max-flow (Figure 3). *)
+let decompose_by_flows inst delta g' orient m =
+  let n = Instance.n_disks inst in
+  let half v = Instance.cap inst v / 2 in
+  let caps_half = Array.init n half in
+  let remaining = ref (List.init (Multigraph.n_edges g') Fun.id) in
+  let rounds = Array.make delta [] in
+  for r = 0 to delta - 1 do
+    let edges = Array.of_list !remaining in
+    let problem =
+      {
+        Netflow.Bmatching.n_left = n;
+        n_right = n;
+        left_cap = caps_half;
+        right_cap = caps_half;
+        edges = Array.map (fun e -> orient.(e)) edges;
+      }
+    in
+    match Netflow.Bmatching.solve_exact problem with
+    | None ->
+        (* contradicts Lemma 4.1/4.2 — would be an implementation bug *)
+        assert false
+    | Some sel ->
+        let kept = ref [] in
+        Array.iteri
+          (fun i e ->
+            if sel.(i) then begin
+              if e < m then rounds.(r) <- e :: rounds.(r)
+            end
+            else kept := e :: !kept)
+          edges;
+        remaining := !kept
+  done;
+  assert (!remaining = []);
+  rounds
+
+(* Step 4, alternative: split each H-side of [v] into c_v/2 unit
+   copies (evenly, so every copy has degree exactly delta) and
+   König-color the delta-regular bipartite multigraph. *)
+let decompose_by_konig inst delta g' orient m =
+  let n = Instance.n_disks inst in
+  let half = Array.init n (fun v -> Instance.cap inst v / 2) in
+  let off = Split_graph.offsets half in
+  let copies = off.(n) in
+  (* out-copies are 0..copies-1, in-copies are copies..2*copies-1 *)
+  let h = Multigraph.create ~n:(2 * copies) () in
+  let out_cursor = Array.make n 0 and in_cursor = Array.make n 0 in
+  let out_copy v =
+    let c = off.(v) + out_cursor.(v) in
+    out_cursor.(v) <- (out_cursor.(v) + 1) mod half.(v);
+    c
+  in
+  let in_copy v =
+    let c = copies + off.(v) + in_cursor.(v) in
+    in_cursor.(v) <- (in_cursor.(v) + 1) mod half.(v);
+    c
+  in
+  let h_edge_of = Array.make (Multigraph.n_edges g') (-1) in
+  Array.iteri
+    (fun e (s, d) ->
+      let he = Multigraph.add_edge h (out_copy s) (in_copy d) in
+      h_edge_of.(e) <- he)
+    orient;
+  (* round-robin over a degree divisible by c_v/2 gives every copy
+     degree exactly delta *)
+  assert (Multigraph.max_degree h = delta);
+  let coloring = Coloring.Konig.color h in
+  let rounds = Array.make delta [] in
+  for e = 0 to m - 1 do
+    match Coloring.Edge_coloring.color_of coloring h_edge_of.(e) with
+    | Some c -> rounds.(c) <- e :: rounds.(c)
+    | None -> assert false
+  done;
+  rounds
+
+let schedule ?(method_ = `Flows) inst =
+  if not (Instance.all_caps_even inst) then
+    invalid_arg "Even_optimal.schedule: all transfer constraints must be even";
+  let g = Instance.graph inst in
+  let m = Multigraph.n_edges g in
+  if m = 0 then Schedule.of_rounds [||]
+  else begin
+    let delta = Lower_bounds.lb1 inst in
+    let g', orient = padded_orientation inst delta in
+    let rounds =
+      match method_ with
+      | `Flows -> decompose_by_flows inst delta g' orient m
+      | `Konig -> decompose_by_konig inst delta g' orient m
+    in
+    (* drop padding-only rounds *)
+    let nonempty = Array.to_list rounds |> List.filter (fun r -> r <> []) in
+    Schedule.of_rounds (Array.of_list nonempty)
+  end

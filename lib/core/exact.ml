@@ -1,0 +1,87 @@
+module Multigraph = Mgraph.Multigraph
+
+type outcome = Optimal of Schedule.t | Gave_up
+
+exception Budget
+
+(* DFS feasibility for a fixed number of rounds [q]. *)
+let feasible inst q order budget =
+  let g = Instance.graph inst in
+  let n = Multigraph.n_nodes g in
+  let m = Array.length order in
+  let counts = Array.make_matrix n q 0 in
+  let assignment = Array.make (Multigraph.n_edges g) (-1) in
+  let nodes = ref 0 in
+  let rec dfs i max_used =
+    incr nodes;
+    if !nodes > budget then raise Budget;
+    if i = m then true
+    else begin
+      let e = order.(i) in
+      let u, v = Multigraph.endpoints g e in
+      (* symmetry breaking: opening a fresh round is only allowed for
+         the next unused round index *)
+      let limit = min (q - 1) (max_used + 1) in
+      let rec try_color c =
+        if c > limit then false
+        else if
+          counts.(u).(c) < Instance.cap inst u
+          && counts.(v).(c) < Instance.cap inst v
+        then begin
+          counts.(u).(c) <- counts.(u).(c) + 1;
+          counts.(v).(c) <- counts.(v).(c) + 1;
+          assignment.(e) <- c;
+          if dfs (i + 1) (max max_used c) then true
+          else begin
+            counts.(u).(c) <- counts.(u).(c) - 1;
+            counts.(v).(c) <- counts.(v).(c) - 1;
+            assignment.(e) <- -1;
+            try_color (c + 1)
+          end
+        end
+        else try_color (c + 1)
+      in
+      try_color 0
+    end
+  in
+  if dfs 0 (-1) then Some assignment else None
+
+let solve ?(node_budget = 2_000_000) inst =
+  let g = Instance.graph inst in
+  let m = Multigraph.n_edges g in
+  if m = 0 then Optimal (Schedule.of_rounds [||])
+  else begin
+    let order =
+      (* hardest endpoints first for early pruning *)
+      let weight e =
+        let u, v = Multigraph.endpoints g e in
+        Instance.degree_ratio inst u + Instance.degree_ratio inst v
+      in
+      let a = Array.init m Fun.id in
+      Array.sort (fun e f -> compare (weight f) (weight e)) a;
+      a
+    in
+    let lb = Lower_bounds.lower_bound inst in
+    let rec deepen q =
+      if q > m then Gave_up
+      else
+        match feasible inst q order node_budget with
+        | Some assignment ->
+            let rounds = Array.make q [] in
+            Array.iteri
+              (fun e c -> if c >= 0 then rounds.(c) <- e :: rounds.(c))
+              assignment;
+            let nonempty =
+              Array.to_list rounds |> List.filter (fun r -> r <> [])
+            in
+            Optimal (Schedule.of_rounds (Array.of_list nonempty))
+        | None -> deepen (q + 1)
+        | exception Budget -> Gave_up
+    in
+    deepen (max 1 lb)
+  end
+
+let opt_rounds ?node_budget inst =
+  match solve ?node_budget inst with
+  | Optimal s -> Some (Schedule.n_rounds s)
+  | Gave_up -> None

@@ -1,0 +1,23 @@
+(** Exact optimal schedules by branch and bound.
+
+    The problem is NP-hard (it contains multigraph chromatic index,
+    [c_v = 1]), so this solver is for small instances only: it gives
+    experiments a ground-truth [OPT] to measure approximation ratios
+    against (EXPERIMENTS.md, E4), and validates that the even-case
+    algorithm and the lower bounds agree with reality.
+
+    Strategy: iterative deepening on the round count [q], starting at
+    the certified lower bound; for each [q], a DFS assigns rounds to
+    items hardest-first with capacity propagation and symmetry
+    breaking (item [i] may only open round [max-used + 1]).  A node
+    budget bounds the search. *)
+
+type outcome =
+  | Optimal of Schedule.t  (** provably minimum rounds *)
+  | Gave_up                (** node budget exhausted before proving *)
+
+(** [solve ?node_budget inst] (default budget [2_000_000] DFS nodes). *)
+val solve : ?node_budget:int -> Instance.t -> outcome
+
+(** Convenience: number of rounds of the optimal schedule, if proven. *)
+val opt_rounds : ?node_budget:int -> Instance.t -> int option

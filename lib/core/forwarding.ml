@@ -1,0 +1,236 @@
+module Multigraph = Mgraph.Multigraph
+
+type hop = { item : int; src : int; dst : int }
+type plan = { rounds : hop list array }
+
+type stats = {
+  rounds : int;
+  relayed : int;
+  direct_rounds : int;
+  bound_before : int;
+}
+
+let rounds (p : plan) = Array.copy p.rounds
+let n_rounds (p : plan) = Array.length p.rounds
+let of_rounds rounds = { rounds = Array.copy rounds }
+
+let base_plan ?rng inst =
+  if Instance.all_caps_even inst then Even_optimal.schedule inst
+  else Hetero_coloring.schedule ?rng inst
+
+let of_schedule inst sched =
+  let g = Instance.graph inst in
+  let rounds =
+    Array.map
+      (fun edges ->
+        List.map
+          (fun e ->
+            let src, dst = Multigraph.endpoints g e in
+            { item = e; src; dst })
+          edges)
+      (Schedule.rounds sched)
+  in
+  { rounds }
+
+(* Schedule a hop graph and translate edge-id rounds into hop rounds. *)
+let schedule_hops ?rng inst hops =
+  if Array.length hops = 0 then [||]
+  else begin
+    let g = Multigraph.create ~n:(Instance.n_disks inst) () in
+    Array.iter (fun h -> ignore (Multigraph.add_edge g h.src h.dst)) hops;
+    let hop_inst = Instance.create g ~caps:(Instance.caps inst) in
+    let sched = base_plan ?rng hop_inst in
+    Array.map (fun edges -> List.map (fun e -> hops.(e)) edges)
+      (Schedule.rounds sched)
+  end
+
+let ceil_div a b = (a + b - 1) / b
+
+let plan_with_helpers ?rng inst =
+  let g = Instance.graph inst in
+  let n = Instance.n_disks inst in
+  let direct_sched = base_plan ?rng inst in
+  let direct_rounds = Schedule.n_rounds direct_sched in
+  let bound_before = Lower_bounds.lower_bound ?rng inst in
+  let fallback () =
+    ( of_schedule inst direct_sched,
+      {
+        rounds = direct_rounds;
+        relayed = 0;
+        direct_rounds;
+        bound_before;
+      } )
+  in
+  let gamma, s = Lower_bounds.lb2_witness ?rng inst in
+  if gamma <= Lower_bounds.lb1 inst || s = [] || List.length s = n then
+    fallback ()
+  else begin
+    let in_s = Array.make n false in
+    List.iter (fun v -> in_s.(v) <- true) s;
+    let slots =
+      max 1 (List.fold_left (fun acc v -> acc + Instance.cap inst v) 0 s / 2)
+    in
+    (* per-phase degree trackers for the projection *)
+    let d1 = Array.init n (Multigraph.degree g) in
+    let d2 = Array.make n 0 in
+    let inside =
+      Multigraph.fold_edges
+        (fun e acc -> if in_s.(e.Multigraph.u) && in_s.(e.Multigraph.v) then e :: acc else acc)
+        g []
+    in
+    let e_s = ref (List.length inside) in
+    let phase1_cost () =
+      let lb1' = ref 0 in
+      for v = 0 to n - 1 do
+        lb1' := max !lb1' (ceil_div d1.(v) (Instance.cap inst v))
+      done;
+      max !lb1' (if !e_s = 0 then 0 else ceil_div !e_s slots)
+    in
+    let phase2_cost () =
+      let c = ref 0 in
+      for v = 0 to n - 1 do
+        if d2.(v) > 0 then c := max !c (ceil_div d2.(v) (Instance.cap inst v))
+      done;
+      !c
+    in
+    let helpers =
+      List.init n Fun.id |> List.filter (fun v -> not in_s.(v))
+    in
+    let best_helper () =
+      List.fold_left
+        (fun acc w ->
+          let load w =
+            float_of_int (d1.(w) + d2.(w)) /. float_of_int (Instance.cap inst w)
+          in
+          match acc with
+          | None -> Some w
+          | Some b -> if load w < load b then Some w else acc)
+        None helpers
+    in
+    (* Candidate order: interleave edges across their target disks, so
+       the hop-2 receivers spread instead of piling on one node. *)
+    let interleaved =
+      let by_target = Hashtbl.create 8 in
+      List.iter
+        (fun (e : Multigraph.edge) ->
+          Hashtbl.replace by_target e.Multigraph.v
+            (e
+            :: (try Hashtbl.find by_target e.Multigraph.v with Not_found -> [])))
+        inside;
+      let queues = Hashtbl.fold (fun _ es acc -> ref es :: acc) by_target [] in
+      let out = ref [] in
+      let continue = ref true in
+      while !continue do
+        continue := false;
+        List.iter
+          (fun q ->
+            match !q with
+            | [] -> ()
+            | e :: rest ->
+                q := rest;
+                out := e :: !out;
+                continue := true)
+          queues
+      done;
+      List.rev !out
+    in
+    (* Sweep every reroute-prefix, tracking the projected cost; keep
+       the argmin prefix.  Projection: phase-1 rounds bounded by the
+       larger of its degree bound and the relieved Γ-term, plus the
+       phase-2 degree bound. *)
+    let applied = ref [] and n_applied = ref 0 in
+    let best_cost = ref (phase1_cost () + phase2_cost ()) in
+    let best_k = ref 0 in
+    List.iter
+      (fun (e : Multigraph.edge) ->
+        match best_helper () with
+        | None -> ()
+        | Some w ->
+            d1.(e.Multigraph.v) <- d1.(e.Multigraph.v) - 1;
+            d1.(w) <- d1.(w) + 1;
+            d2.(w) <- d2.(w) + 1;
+            d2.(e.Multigraph.v) <- d2.(e.Multigraph.v) + 1;
+            e_s := !e_s - 1;
+            applied := (e.Multigraph.id, w) :: !applied;
+            incr n_applied;
+            let cost = phase1_cost () + phase2_cost () in
+            if cost < !best_cost then begin
+              best_cost := cost;
+              best_k := !n_applied
+            end)
+      interleaved;
+    let relay = Hashtbl.create 16 in
+    List.iteri
+      (fun i (e, w) ->
+        (* applied is newest-first; keep the first best_k reroutes *)
+        if !n_applied - i <= !best_k then Hashtbl.replace relay e w)
+      !applied;
+    if Hashtbl.length relay = 0 then fallback ()
+    else begin
+      let hop1 = ref [] and hop2 = ref [] in
+      Multigraph.iter_edges g (fun { Multigraph.id; u; v } ->
+          match Hashtbl.find_opt relay id with
+          | Some w ->
+              hop1 := { item = id; src = u; dst = w } :: !hop1;
+              hop2 := { item = id; src = w; dst = v } :: !hop2
+          | None -> hop1 := { item = id; src = u; dst = v } :: !hop1);
+      let r1 = schedule_hops ?rng inst (Array.of_list !hop1) in
+      let r2 = schedule_hops ?rng inst (Array.of_list !hop2) in
+      let forwarded = { rounds = Array.append r1 r2 } in
+      if n_rounds forwarded >= direct_rounds then fallback ()
+      else
+        ( forwarded,
+          {
+            rounds = n_rounds forwarded;
+            relayed = Hashtbl.length relay;
+            direct_rounds;
+            bound_before;
+          } )
+    end
+  end
+
+let validate inst (p : plan) =
+  let g = Instance.graph inst in
+  let m = Multigraph.n_edges g in
+  let pos = Array.init m (fun e -> fst (Multigraph.endpoints g e)) in
+  let target = Array.init m (fun e -> snd (Multigraph.endpoints g e)) in
+  let delivered = Array.make m false in
+  let err = ref None in
+  let set_err msg = if !err = None then err := Some msg in
+  Array.iteri
+    (fun i hops ->
+      let load = Hashtbl.create 16 in
+      let moved = Hashtbl.create 16 in
+      let bump v =
+        let c = (try Hashtbl.find load v with Not_found -> 0) + 1 in
+        Hashtbl.replace load v c;
+        if c > Instance.cap inst v then
+          set_err (Printf.sprintf "round %d: disk %d over its constraint" i v)
+      in
+      List.iter
+        (fun h ->
+          if h.item < 0 || h.item >= m then
+            set_err (Printf.sprintf "round %d: unknown item %d" i h.item)
+          else begin
+            if Hashtbl.mem moved h.item then
+              set_err
+                (Printf.sprintf "round %d: item %d moved twice in one round" i
+                   h.item);
+            Hashtbl.add moved h.item ();
+            if delivered.(h.item) then
+              set_err (Printf.sprintf "item %d moved after delivery" h.item);
+            if pos.(h.item) <> h.src then
+              set_err
+                (Printf.sprintf "round %d: item %d is on disk %d, not %d" i
+                   h.item pos.(h.item) h.src);
+            bump h.src;
+            bump h.dst;
+            pos.(h.item) <- h.dst;
+            if h.dst = target.(h.item) then delivered.(h.item) <- true
+          end)
+        hops)
+    p.rounds;
+  Array.iteri
+    (fun e d -> if not d then set_err (Printf.sprintf "item %d never delivered" e))
+    delivered;
+  match !err with None -> Ok () | Some msg -> Error msg

@@ -1,0 +1,61 @@
+(** Data migration with forwarding (helpers).
+
+    The paper assumes direct transfers ("we assume disks send data to
+    each other directly", Section II) but surveys the alternative:
+    Coffman et al. and Sanders & Solis-Oba study migration where an
+    item may be {e forwarded} through an intermediate disk, and
+    Whitehead shows scheduling becomes NP-complete when forwarding is
+    forced by missing interconnect edges.  This module implements the
+    optional extension: relaying through idle disks to break the
+    [Γ]-bound of Lemma 3.1.
+
+    When a node subset [S] is the bottleneck ([Γ(S) > LB1]), every
+    transfer with both endpoints inside [S] consumes one of [S]'s
+    scarce edge slots.  Routing such an item via a helper [w ∉ S]
+    replaces the inside edge by two outside edges [(u, w)], [(w, v)] —
+    invisible to [Γ(S)] — at the price of moving the item twice.  The
+    planner reroutes greedily onto the least-loaded helpers while the
+    projected bound improves, then schedules hop-1 and hop-2 graphs
+    back to back (hop 2 starts only after hop 1 finishes, so every
+    relayed item is at its helper when the second leg runs).
+
+    A relayed plan is no longer a {!Schedule.t} over the original
+    edges — items move twice — so this module has its own plan type
+    and validator. *)
+
+type hop = {
+  item : int;  (** edge id in the original instance *)
+  src : int;
+  dst : int;
+}
+
+type plan
+
+type stats = {
+  rounds : int;
+  relayed : int;         (** items routed through a helper *)
+  direct_rounds : int;   (** rounds the best direct schedule needs *)
+  bound_before : int;    (** certified lower bound without forwarding *)
+}
+
+val rounds : plan -> hop list array
+val n_rounds : plan -> int
+
+(** Wraps a direct schedule as a (relay-free) plan. *)
+val of_schedule : Instance.t -> Schedule.t -> plan
+
+(** Packs explicit hop rounds (no checking — see {!validate}).  Used
+    by planners that construct relayed rounds themselves, e.g.
+    {!Space.plan}. *)
+val of_rounds : hop list array -> plan
+
+(** [plan_with_helpers ?rng inst] — forwarding-enabled plan plus
+    stats.  Falls back to the direct schedule when no rerouting
+    helps, so the result never has more rounds than the direct plan
+    it compares against. *)
+val plan_with_helpers : ?rng:Random.State.t -> Instance.t -> plan * stats
+
+(** Full check: transfer constraints per round, every item delivered
+    from its source to its target along a connected hop path in round
+    order, no item moved after delivery. *)
+val validate : Instance.t -> plan -> (unit, string) result

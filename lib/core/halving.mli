@@ -1,0 +1,41 @@
+(** Multiplicity halving (the closing remark of the paper's Section V).
+
+    "A graph with even edge multiplicities can be colored by coloring a
+    graph with halved edge multiplicities and then using each color
+    twice" — which turns any coloring algorithm that is polynomial in
+    [|E|] into one polynomial in [|V|] and the {e bits} of the edge
+    multiplicities.  Transfer graphs with huge parallel classes (many
+    items moving between the same disk pair, the common case in bulk
+    migration) plan exponentially faster this way.
+
+    Given an instance, this wrapper:
+    + pairs up parallel edges, leaving at most one {e odd leftover}
+      edge per disk pair;
+    + recursively schedules the half instance (one edge per pair);
+    + expands each half-round into two real rounds (one edge of every
+      pair each — same per-disk footprint, hence feasible);
+    + schedules the leftover simple-ish graph directly and appends it.
+
+    The recursion bottoms out at {!Hetero_coloring} (or
+    {!Even_optimal} when all constraints are even) once the maximum
+    multiplicity is small.
+
+    Rounds used: [2 * R(G/2) + R(odd leftovers)] — within a factor
+    matching the underlying algorithm's guarantee (the doubling step
+    loses at most one round per recursion level versus the bound,
+    which is the loss the paper's analysis accounts for). *)
+
+type stats = {
+  rounds : int;
+  levels : int;        (** recursion depth taken *)
+  base_edges : int;    (** edges scheduled by the base algorithm *)
+}
+
+(** [schedule ?rng ?threshold inst] — feasible schedule for any
+    instance.  Recursion applies while the maximum multiplicity
+    exceeds [threshold] (default 4). *)
+val schedule :
+  ?rng:Random.State.t -> ?threshold:int -> Instance.t -> Schedule.t
+
+val schedule_stats :
+  ?rng:Random.State.t -> ?threshold:int -> Instance.t -> Schedule.t * stats

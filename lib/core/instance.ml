@@ -1,0 +1,96 @@
+module Multigraph = Mgraph.Multigraph
+
+type t = { graph : Multigraph.t; caps : int array }
+
+let create g ~caps =
+  if Array.length caps <> Multigraph.n_nodes g then
+    invalid_arg "Instance.create: one capacity per node required";
+  Array.iter
+    (fun c ->
+      if c < 1 then invalid_arg "Instance.create: capacities must be >= 1")
+    caps;
+  Multigraph.iter_edges g (fun { Multigraph.u; v; _ } ->
+      if u = v then
+        invalid_arg "Instance.create: self-loop (item already at target)");
+  { graph = g; caps = Array.copy caps }
+
+let uniform g ~cap =
+  create g ~caps:(Array.make (Multigraph.n_nodes g) cap)
+
+let random_caps rng g ~choices =
+  let choices = Array.of_list choices in
+  if Array.length choices = 0 then invalid_arg "Instance.random_caps";
+  let caps =
+    Array.init (Multigraph.n_nodes g) (fun _ ->
+        choices.(Random.State.int rng (Array.length choices)))
+  in
+  create g ~caps
+
+let graph t = t.graph
+let cap t v = t.caps.(v)
+let caps t = Array.copy t.caps
+let n_disks t = Multigraph.n_nodes t.graph
+let n_items t = Multigraph.n_edges t.graph
+
+let all_caps_even t = Array.for_all (fun c -> c mod 2 = 0) t.caps
+
+let degree_ratio t v =
+  let d = Multigraph.degree t.graph v in
+  (d + t.caps.(v) - 1) / t.caps.(v)
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" (n_disks t) (n_items t));
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int c))
+    t.caps;
+  Buffer.add_char buf '\n';
+  Multigraph.iter_edges t.graph (fun { Multigraph.u; v; _ } ->
+      Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  Buffer.contents buf
+
+let of_string s =
+  let fail msg = failwith ("Instance.of_string: " ^ msg) in
+  let toks =
+    String.split_on_char '\n' s
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.filter (fun t -> t <> "")
+  in
+  let int_of tok =
+    match int_of_string_opt tok with
+    | Some i -> i
+    | None -> fail ("not an integer: " ^ tok)
+  in
+  match toks with
+  | n :: m :: rest ->
+      let n = int_of n and m = int_of m in
+      if n < 0 || m < 0 then fail "negative header";
+      let rec split_caps k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> fail "missing capacities"
+        | c :: rest -> split_caps (k - 1) (int_of c :: acc) rest
+      in
+      let caps, rest = split_caps n [] rest in
+      let g = Multigraph.create ~n () in
+      let rec edges k = function
+        | [] -> if k <> m then fail "fewer edges than declared"
+        | u :: v :: rest ->
+            if k >= m then fail "more edges than declared";
+            ignore (Multigraph.add_edge g (int_of u) (int_of v));
+            edges (k + 1) rest
+        | [ _ ] -> fail "dangling endpoint"
+      in
+      edges 0 rest;
+      create g ~caps:(Array.of_list caps)
+  | _ -> fail "missing header"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>instance: %d disks, %d items@," (n_disks t)
+    (n_items t);
+  Format.fprintf ppf "caps: @[%a@]@,"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+    (Array.to_list t.caps);
+  Format.fprintf ppf "%a@]" Multigraph.pp t.graph

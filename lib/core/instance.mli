@@ -1,0 +1,45 @@
+(** Heterogeneous data-migration instances (the paper's Section III).
+
+    An instance is a transfer multigraph [G = (V, E)] — nodes are
+    disks, each edge one unit-size item to move between two disks —
+    together with a transfer constraint [c_v >= 1] per disk: the number
+    of simultaneous transfers disk [v] can take part in.  Self-loops
+    are meaningless (an item already on its target) and rejected. *)
+
+type t
+
+(** [create g ~caps] validates and packs an instance.
+    @raise Invalid_argument if [caps] has wrong length, some capacity
+    is [< 1], or [g] contains a self-loop. *)
+val create : Mgraph.Multigraph.t -> caps:int array -> t
+
+(** All disks share one constraint — the homogeneous special case. *)
+val uniform : Mgraph.Multigraph.t -> cap:int -> t
+
+(** Random capacities drawn uniformly from [choices] (device
+    generations of a grown cluster). *)
+val random_caps :
+  Random.State.t -> Mgraph.Multigraph.t -> choices:int list -> t
+
+val graph : t -> Mgraph.Multigraph.t
+val cap : t -> int -> int
+val caps : t -> int array
+val n_disks : t -> int
+val n_items : t -> int
+
+(** True iff every [c_v] is even — the polynomially-optimal case of
+    the paper's Section IV. *)
+val all_caps_even : t -> bool
+
+(** [degree_ratio t v] is [ceil (d_v / c_v)], node [v]'s term of the
+    paper's first lower bound. *)
+val degree_ratio : t -> int -> int
+
+(** Serialization: header ["n m"], a line of [n] capacities, then [m]
+    edge lines — the format the CLI reads and writes. *)
+val to_string : t -> string
+
+(** @raise Failure on malformed input. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,184 @@
+module Multigraph = Mgraph.Multigraph
+
+let lb1 inst =
+  let best = ref 0 in
+  for v = 0 to Instance.n_disks inst - 1 do
+    let r = Instance.degree_ratio inst v in
+    if r > !best then best := r
+  done;
+  !best
+
+let ceil_div a b = (a + b - 1) / b
+
+let gamma_of ~edges_inside ~cap_sum =
+  if edges_inside = 0 then 0
+  else begin
+    let slots = cap_sum / 2 in
+    if slots = 0 then max_int (* a single disk cannot transfer to itself *)
+    else ceil_div edges_inside slots
+  end
+
+let gamma_term inst s =
+  let g = Instance.graph inst in
+  let members = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      if Hashtbl.mem members v then invalid_arg "Lower_bounds.gamma_term: duplicate node";
+      Hashtbl.add members v ())
+    s;
+  let edges_inside =
+    Multigraph.fold_edges
+      (fun { Multigraph.u; v; _ } acc ->
+        if Hashtbl.mem members u && Hashtbl.mem members v then acc + 1 else acc)
+      g 0
+  in
+  let cap_sum = List.fold_left (fun acc v -> acc + Instance.cap inst v) 0 s in
+  gamma_of ~edges_inside ~cap_sum
+
+(* Exact max over all subsets of [nodes] by subset DP:
+   E(mask) = E(mask minus lowest bit v) + (edges from v into the rest).
+   Returns the best term and its witness subset. *)
+let exact_on_nodes inst nodes =
+  let g = Instance.graph inst in
+  let k = Array.length nodes in
+  if k = 0 || k > 24 then invalid_arg "Lower_bounds.exact_on_nodes";
+  let index = Hashtbl.create k in
+  Array.iteri (fun i v -> Hashtbl.add index v i) nodes;
+  (* multiplicity between local indices, as a flat matrix *)
+  let mult = Array.make (k * k) 0 in
+  Multigraph.iter_edges g (fun { Multigraph.u; v; _ } ->
+      match (Hashtbl.find_opt index u, Hashtbl.find_opt index v) with
+      | Some i, Some j ->
+          mult.((i * k) + j) <- mult.((i * k) + j) + 1;
+          if i <> j then mult.((j * k) + i) <- mult.((j * k) + i) + 1
+      | _ -> ());
+  let size = 1 lsl k in
+  let inside = Array.make size 0 in
+  let capsum = Array.make size 0 in
+  let best = ref 0 and best_mask = ref 0 in
+  for mask = 1 to size - 1 do
+    let i =
+      (* index of lowest set bit *)
+      let rec find b = if mask land (1 lsl b) <> 0 then b else find (b + 1) in
+      find 0
+    in
+    let rest = mask land lnot (1 lsl i) in
+    let added = ref 0 in
+    for j = 0 to k - 1 do
+      if rest land (1 lsl j) <> 0 then added := !added + mult.((i * k) + j)
+    done;
+    inside.(mask) <- inside.(rest) + !added;
+    capsum.(mask) <- capsum.(rest) + Instance.cap inst nodes.(i);
+    if inside.(mask) > 0 then begin
+      let t = gamma_of ~edges_inside:inside.(mask) ~cap_sum:capsum.(mask) in
+      if t > !best && t < max_int then begin
+        best := t;
+        best_mask := mask
+      end
+    end
+  done;
+  let witness = ref [] in
+  for j = k - 1 downto 0 do
+    if !best_mask land (1 lsl j) <> 0 then witness := nodes.(j) :: !witness
+  done;
+  (!best, !witness)
+
+(* Randomized greedy: grow a subset from a seed edge, at each step
+   adding the neighbor with the most edges into the current set,
+   keeping the best Γ-term seen. *)
+let local_search inst rng iters =
+  let g = Instance.graph inst in
+  let n = Multigraph.n_nodes g and m = Multigraph.n_edges g in
+  if m = 0 then (0, [])
+  else begin
+    let best = ref 0 and best_set = ref [] in
+    let consider members inside capsum =
+      let t = gamma_of ~edges_inside:inside ~cap_sum:capsum in
+      if t > !best && t < max_int then begin
+        best := t;
+        best_set := Hashtbl.fold (fun v () acc -> v :: acc) members []
+      end
+    in
+    for _ = 1 to iters do
+      let e = Random.State.int rng m in
+      let u, v = Multigraph.endpoints g e in
+      let members = Hashtbl.create 16 in
+      Hashtbl.add members u ();
+      if not (Hashtbl.mem members v) then Hashtbl.add members v ();
+      let inside = ref (Multigraph.multiplicity g u v) in
+      let capsum = ref (Instance.cap inst u + if u <> v then Instance.cap inst v else 0) in
+      consider members !inside !capsum;
+      let steps = min n 40 in
+      for _ = 1 to steps do
+        (* candidate frontier: neighbors of current members *)
+        let gain = Hashtbl.create 16 in
+        Hashtbl.iter
+          (fun w () ->
+            Multigraph.iter_incident g w (fun e ->
+                let x = Multigraph.other_endpoint g e w in
+                if not (Hashtbl.mem members x) then
+                  Hashtbl.replace gain x
+                    ((try Hashtbl.find gain x with Not_found -> 0) + 1)))
+          members;
+        let pick =
+          Hashtbl.fold
+            (fun x gx acc ->
+              match acc with
+              | None -> Some (x, gx)
+              | Some (_, gbest) -> if gx > gbest then Some (x, gx) else acc)
+            gain None
+        in
+        match pick with
+        | None -> ()
+        | Some (x, gx) ->
+            Hashtbl.add members x ();
+            inside := !inside + gx;
+            capsum := !capsum + Instance.cap inst x;
+            consider members !inside !capsum
+      done
+    done;
+    (!best, !best_set)
+  end
+
+let lb2_witness ?rng ?(exact_limit = 14) ?(search_iters = 32) inst =
+  let g = Instance.graph inst in
+  let all_nodes = List.init (Multigraph.n_nodes g) Fun.id in
+  let whole =
+    let t =
+      gamma_of
+        ~edges_inside:(Multigraph.n_edges g)
+        ~cap_sum:(Array.fold_left ( + ) 0 (Instance.caps inst))
+    in
+    if t = max_int then (0, []) else (t, all_nodes)
+  in
+  let members = Mgraph.Traversal.component_members g in
+  let comp_best = ref (0, []) in
+  Array.iter
+    (fun nodes ->
+      let nodes = Array.of_list nodes in
+      let t =
+        if Array.length nodes >= 2 && Array.length nodes <= exact_limit then
+          exact_on_nodes inst nodes
+        else begin
+          let t = gamma_term inst (Array.to_list nodes) in
+          if t = max_int then (0, []) else (t, Array.to_list nodes)
+        end
+      in
+      if fst t > fst !comp_best then comp_best := t)
+    members;
+  let searched =
+    match rng with
+    | Some rng when Multigraph.n_nodes g > exact_limit ->
+        local_search inst rng search_iters
+    | _ -> (0, [])
+  in
+  List.fold_left
+    (fun acc cand -> if fst cand > fst acc then cand else acc)
+    whole
+    [ !comp_best; searched ]
+
+let lb2 ?rng ?exact_limit ?search_iters inst =
+  fst (lb2_witness ?rng ?exact_limit ?search_iters inst)
+
+let lower_bound ?rng ?exact_limit ?search_iters inst =
+  max (lb1 inst) (lb2 ?rng ?exact_limit ?search_iters inst)

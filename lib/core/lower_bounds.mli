@@ -1,0 +1,43 @@
+(** Lower bounds on the optimal number of migration rounds
+    (the paper's Section III-A).
+
+    [LB1 = max_v ceil(d_v / c_v)]: disk [v] needs at least
+    [d_v / c_v] rounds for its own transfers.
+
+    [LB2 = Γ = max_S ceil(|E(S)| / floor(Σ_{v∈S} c_v / 2))]
+    (Lemma 3.1): the transfers inside a node set [S] can consume at
+    most [floor(Σ c_v / 2)] edge slots per round.
+
+    Maximizing over all [2^|V|] subsets is intractable in general, so
+    [lb2] combines: the whole graph and every connected component
+    (always), exact subset enumeration on components of at most
+    [exact_limit] nodes (subset-DP, [O(2^k k)]), and randomized greedy
+    local search elsewhere.  Every value returned is a {e certified}
+    lower bound — it is the [Γ]-term of some concrete subset — only
+    its tightness is best-effort. *)
+
+val lb1 : Instance.t -> int
+
+(** [gamma_term inst s] is [ceil(|E(S)| / floor(Σ c_v / 2))] for the
+    explicit node list [s] (no duplicates; at least one node with an
+    incident edge inside [s] for a nonzero value). *)
+val gamma_term : Instance.t -> int list -> int
+
+(** Best [Γ]-term found; see module doc for the search strategy. *)
+val lb2 :
+  ?rng:Random.State.t -> ?exact_limit:int -> ?search_iters:int ->
+  Instance.t -> int
+
+(** Like {!lb2}, but also returns the witness subset achieving the
+    bound (empty when the bound is 0).  The witness is what the
+    forwarding planner targets: transfers inside it are the bottleneck
+    that relaying through outside disks can relieve. *)
+val lb2_witness :
+  ?rng:Random.State.t -> ?exact_limit:int -> ?search_iters:int ->
+  Instance.t -> int * int list
+
+(** [max (lb1 inst) (lb2 inst)] — the bound every experiment reports
+    ratios against. *)
+val lower_bound :
+  ?rng:Random.State.t -> ?exact_limit:int -> ?search_iters:int ->
+  Instance.t -> int

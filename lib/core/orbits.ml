@@ -1,0 +1,365 @@
+module Multigraph = Mgraph.Multigraph
+module Ec = Coloring.Edge_coloring
+
+type orbit = { nodes : int list; uncolored_edges : int list }
+
+type classification =
+  | Balancing of { node : int; color : int }
+  | Color_orbit of { node_a : int; node_b : int; color : int }
+  | Tight
+
+let orbits t =
+  let g = Ec.graph t in
+  let n = Multigraph.n_nodes g in
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  let uncolored e = Ec.color_of t e = None in
+  for start = 0 to n - 1 do
+    if comp.(start) < 0 then begin
+      let id = !next in
+      incr next;
+      comp.(start) <- id;
+      let queue = Queue.create () in
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.take queue in
+        Multigraph.iter_incident g u (fun e ->
+            if uncolored e then begin
+              let w = Multigraph.other_endpoint g e u in
+              if comp.(w) < 0 then begin
+                comp.(w) <- id;
+                Queue.add w queue
+              end
+            end)
+      done
+    end
+  done;
+  let members = Array.make !next [] in
+  for v = n - 1 downto 0 do
+    members.(comp.(v)) <- v :: members.(comp.(v))
+  done;
+  let edges_of = Array.make !next [] in
+  Multigraph.iter_edges g (fun { Multigraph.id; u; _ } ->
+      if uncolored id then edges_of.(comp.(u)) <- id :: edges_of.(comp.(u)));
+  Array.to_list
+    (Array.init !next (fun i ->
+         { nodes = members.(i); uncolored_edges = edges_of.(i) }))
+  |> List.filter (fun o -> o.uncolored_edges <> [])
+
+let classify t orbit =
+  (* Definition 5.3 first: any node strongly missing any color *)
+  let strongly =
+    List.find_map
+      (fun v ->
+        let rec scan c =
+          if c >= Ec.n_colors t then None
+          else if Ec.strongly_missing t v c then Some (Balancing { node = v; color = c })
+          else scan (c + 1)
+        in
+        scan 0)
+      orbit.nodes
+  in
+  match strongly with
+  | Some k -> k
+  | None -> (
+      (* Definition 5.4: two nodes lightly missing the same color *)
+      let holder = Hashtbl.create 16 in
+      let found = ref None in
+      List.iter
+        (fun v ->
+          for c = 0 to Ec.n_colors t - 1 do
+            if !found = None && Ec.lightly_missing t v c then begin
+              match Hashtbl.find_opt holder c with
+              | Some u when u <> v ->
+                  found := Some (Color_orbit { node_a = u; node_b = v; color = c })
+              | Some _ -> ()
+              | None -> Hashtbl.add holder c v
+            end
+          done)
+        orbit.nodes;
+      match !found with Some k -> k | None -> Tight)
+
+let bad_edges t =
+  let g = Ec.graph t in
+  let by_pair = Hashtbl.create 32 in
+  Multigraph.iter_edges g (fun { Multigraph.id; u; v } ->
+      if Ec.color_of t id = None then begin
+        let key = if u <= v then (u, v) else (v, u) in
+        Hashtbl.replace by_pair key
+          (id :: (try Hashtbl.find by_pair key with Not_found -> []))
+      end);
+  Hashtbl.fold
+    (fun _ edges acc -> if List.length edges >= 2 then edges @ acc else acc)
+    by_pair []
+  |> List.sort compare
+
+(* Try to color [e]: direct common color, else free [color] at the
+   endpoint where it is saturated via a capacitated Kempe walk. *)
+let try_edge t ?rng e color =
+  match Ec.common_missing t e with
+  | Some c ->
+      Ec.assign t e c;
+      true
+  | None ->
+      let g = Ec.graph t in
+      let u, v = Multigraph.endpoints g e in
+      let free_at target =
+        (not (Ec.missing t target color))
+        && List.exists
+             (fun b ->
+               b <> color && Ec.missing t target b
+               && Coloring.Recolor.try_free t ?rng ~v:target ~a:color ~b ())
+             (List.init (Ec.n_colors t) Fun.id)
+      in
+      let attempt () =
+        if Ec.missing t u color && Ec.missing t v color then begin
+          Ec.assign t e color;
+          true
+        end
+        else false
+      in
+      if attempt () then true
+      else begin
+        if not (Ec.missing t u color) then ignore (free_at u);
+        if not (Ec.missing t v color) then ignore (free_at v);
+        attempt () || Coloring.Recolor.try_color_edge t ?rng e
+      end
+
+let make_progress ?rng t orbit =
+  match classify t orbit with
+  | Tight -> None
+  | Balancing { node; color } ->
+      (* an uncolored edge at [node] can take [color] once the other
+         endpoint frees it; strong missingness keeps [node] safe even
+         if the walk ends there (the paper's Figure 4 case) *)
+      let g = Ec.graph t in
+      let candidates =
+        List.filter
+          (fun e ->
+            Ec.color_of t e = None
+            && (let u, v = Multigraph.endpoints g e in
+                u = node || v = node))
+          orbit.uncolored_edges
+      in
+      List.find_opt (fun e -> try_edge t ?rng e color)
+        (if candidates = [] then orbit.uncolored_edges else candidates)
+  | Color_orbit { node_a; node_b; color } ->
+      let g = Ec.graph t in
+      let touches w e =
+        let u, v = Multigraph.endpoints g e in
+        u = w || v = w
+      in
+      let candidates =
+        List.filter
+          (fun e -> touches node_a e || touches node_b e)
+          orbit.uncolored_edges
+      in
+      List.find_opt (fun e -> try_edge t ?rng e color)
+        (if candidates = [] then orbit.uncolored_edges else candidates)
+
+(* ------------------------------------------------------------------ *)
+(* Edge orbits and witnesses (Definitions 5.6, 5.7)                    *)
+
+type edge_orbit = {
+  seed : int list;
+  vertices : int list;
+  used_colors : int list;
+}
+
+type growth = Grew of edge_orbit | Delta_witness of int | Gamma_witness
+
+let seed_orbit t e =
+  let u, v = Multigraph.endpoints (Ec.graph t) e in
+  { seed = [ e ]; vertices = List.sort_uniq compare [ u; v ]; used_colors = [] }
+
+let free_colors t orbit =
+  List.init (Ec.n_colors t) Fun.id
+  |> List.filter (fun c -> not (List.mem c orbit.used_colors))
+
+(* Trace (without flipping) a maximal ab-alternating walk from [x]
+   starting with color [a]; returns the vertices reached. *)
+let trace_walk t x a b =
+  let g = Ec.graph t in
+  let used = Hashtbl.create 16 in
+  let rec go here want acc steps =
+    if steps > 2 * Multigraph.n_edges g then acc
+    else begin
+      let next =
+        List.find_opt
+          (fun e -> (not (Hashtbl.mem used e)) && Ec.color_of t e = Some want)
+          (Multigraph.incident g here)
+      in
+      match next with
+      | None -> acc
+      | Some e ->
+          Hashtbl.add used e ();
+          let w = Multigraph.other_endpoint g e here in
+          go w (if want = a then b else a) (w :: acc) (steps + 1)
+    end
+  in
+  go x a [] 0
+
+(* A color is full in the orbit when no vertex strongly misses it and
+   at most one vertex lightly misses it (Section V-B3). *)
+let full_in_orbit t orbit c =
+  let lightly = ref 0 and strongly = ref false in
+  List.iter
+    (fun v ->
+      if Ec.strongly_missing t v c then strongly := true
+      else if Ec.lightly_missing t v c then incr lightly)
+    orbit.vertices;
+  (not !strongly) && !lightly <= 1
+
+let grow t orbit =
+  let free = free_colors t orbit in
+  (* Delta-witness: a vertex none of whose missing colors is free *)
+  let delta =
+    List.find_opt
+      (fun v ->
+        let missing =
+          List.init (Ec.n_colors t) Fun.id
+          |> List.filter (fun c -> Ec.missing t v c)
+        in
+        missing <> [] && List.for_all (fun c -> not (List.mem c free)) missing)
+      orbit.vertices
+  in
+  match delta with
+  | Some v -> Delta_witness v
+  | None ->
+      if List.for_all (full_in_orbit t orbit) free then Gamma_witness
+      else begin
+        (* try to extend: a vertex x with a free missing color a, paired
+           with another free color b, whose walk reaches a new vertex *)
+        let in_orbit = Hashtbl.create 16 in
+        List.iter (fun v -> Hashtbl.add in_orbit v ()) orbit.vertices;
+        let extension =
+          List.find_map
+            (fun x ->
+              let missing_free =
+                List.filter (fun c -> Ec.missing t x c) free
+              in
+              List.find_map
+                (fun a ->
+                  List.find_map
+                    (fun b ->
+                      if b = a then None
+                      else begin
+                        let reached = trace_walk t x b a in
+                        let fresh =
+                          List.filter
+                            (fun w -> not (Hashtbl.mem in_orbit w))
+                            reached
+                        in
+                        if fresh = [] then None else Some (a, b, fresh)
+                      end)
+                    free)
+                missing_free)
+            orbit.vertices
+        in
+        match extension with
+        | Some (a, b, fresh) ->
+            Grew
+              {
+                orbit with
+                vertices = List.sort_uniq compare (fresh @ orbit.vertices);
+                used_colors =
+                  List.sort_uniq compare (a :: b :: orbit.used_colors);
+              }
+        | None ->
+            (* no free-colored structure to follow: the orbit cannot be
+               grown; treat as Γ-tight (the conservative witness) *)
+            Gamma_witness
+      end
+
+type engine_stats = {
+  palette : int;
+  witnesses_delta : int;
+  witnesses_gamma : int;
+  orbit_growths : int;
+  largest_orbit : int;
+}
+
+let color_via_orbits ?rng inst =
+  let g = Instance.graph inst in
+  let q0 = max 1 (Lower_bounds.lower_bound ?rng inst) in
+  let t = Ec.create g ~cap:(Instance.cap inst) ~colors:q0 in
+  let wd = ref 0 and wg = ref 0 and growths = ref 0 and largest = ref 0 in
+  (* naive partial coloring: first-fit within the palette *)
+  Multigraph.iter_edges g (fun { Multigraph.id; _ } ->
+      match Ec.common_missing t id with
+      | Some c -> Ec.assign t id c
+      | None -> ());
+  let guard = ref (4 * Multigraph.n_edges g) in
+  while Ec.n_uncolored t > 0 && !guard > 0 do
+    decr guard;
+    let before = Ec.n_uncolored t in
+    (* Lemmas 5.1/5.2 wherever they fire *)
+    List.iter
+      (fun orbit ->
+        match classify t orbit with
+        | Tight -> ()
+        | Balancing _ | Color_orbit _ -> ignore (make_progress ?rng t orbit))
+      (orbits t);
+    if Ec.n_uncolored t = before then begin
+      (* all remaining components are tight: drive one seed through the
+         grow-or-witness loop (Section V-C1 step 3) *)
+      match Ec.uncolored t with
+      | [] -> ()
+      | e :: _ ->
+          let rec drive orbit steps =
+            largest := max !largest (List.length orbit.vertices);
+            if steps > Multigraph.n_nodes g then begin
+              incr wg;
+              let c = Ec.add_color t in
+              Ec.assign t e c
+            end
+            else
+              match grow t orbit with
+              | Grew orbit' ->
+                  incr growths;
+                  (* a grown orbit may have turned easy: retry lemmas *)
+                  let comp =
+                    List.find_opt
+                      (fun o -> List.mem e o.uncolored_edges)
+                      (orbits t)
+                  in
+                  let progressed =
+                    match comp with
+                    | Some o -> (
+                        match classify t o with
+                        | Tight -> false
+                        | _ -> make_progress ?rng t o <> None)
+                    | None -> true (* e got colored meanwhile *)
+                  in
+                  if not progressed then drive orbit' (steps + 1)
+              | Delta_witness _ ->
+                  incr wd;
+                  let c = Ec.add_color t in
+                  Ec.assign t e c
+              | Gamma_witness ->
+                  incr wg;
+                  let c = Ec.add_color t in
+                  Ec.assign t e c
+          in
+          drive (seed_orbit t e) 0
+    end
+  done;
+  (* safety net: color any stragglers with fresh colors *)
+  List.iter
+    (fun e ->
+      match Ec.common_missing t e with
+      | Some c -> Ec.assign t e c
+      | None ->
+          let c = Ec.add_color t in
+          Ec.assign t e c)
+    (Ec.uncolored t);
+  let stats =
+    {
+      palette = Ec.n_colors t;
+      witnesses_delta = !wd;
+      witnesses_gamma = !wg;
+      orbit_growths = !growths;
+      largest_orbit = !largest;
+    }
+  in
+  (t, stats)

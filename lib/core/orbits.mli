@@ -1,0 +1,106 @@
+(** The paper's orbit structures (Section V-B), executable.
+
+    The general algorithm's progress arguments are phrased through
+    subgraph structures over a partial coloring:
+
+    - a {e balancing orbit} (Definition 5.3): a component of the
+      uncolored subgraph containing a node that {e strongly} misses a
+      color ([E_c(v) <= c_v - 2]).  Lemma 5.1: an uncolored edge can
+      then always be colored.
+    - a {e color orbit} (Definition 5.4): such a component with two
+      nodes {e lightly} missing the same color.  Lemma 5.2: same
+      conclusion.
+    - a {e tight} orbit: neither — the paper's hard case, handled by
+      growing edge orbits until a witness forces a new color.
+    - {e bad edges} (Definition 5.5): uncolored edges with an
+      uncolored parallel partner — what Phase 1 eliminates so the
+      residual graph [G0] is simple.
+
+    {!Hetero_coloring} does not pattern-match on these structures —
+    its Kempe walks and lean-edge moves realize the same progress
+    directly — but this module makes the paper's case analysis
+    observable: classify a partial coloring, then check the lemmas'
+    conclusions hold (the test suite does exactly that on random
+    partial colorings).  It is also a planning diagnostic: a run that
+    stalls with only tight orbits left is in the paper's
+    witness/escalation regime. *)
+
+type orbit = {
+  nodes : int list;           (** component of the uncolored subgraph *)
+  uncolored_edges : int list; (** its uncolored edges *)
+}
+
+type classification =
+  | Balancing of { node : int; color : int }
+      (** [node] strongly misses [color] (Definition 5.3) *)
+  | Color_orbit of { node_a : int; node_b : int; color : int }
+      (** both lightly miss [color] (Definition 5.4) *)
+  | Tight  (** a hard orbit candidate *)
+
+(** Components of the subgraph induced by uncolored edges; singletons
+    without uncolored edges are skipped. *)
+val orbits : Coloring.Edge_coloring.t -> orbit list
+
+val classify : Coloring.Edge_coloring.t -> orbit -> classification
+
+(** Uncolored edges with an uncolored parallel partner
+    (Definition 5.5). *)
+val bad_edges : Coloring.Edge_coloring.t -> int list
+
+(** Realize the progress the lemmas promise: color one uncolored edge
+    of the orbit, using the classification's move ({!Balancing}: free
+    the strongly-missing color at the other endpoint via a Kempe walk;
+    {!Color_orbit}: same from either lightly-missing node).  Returns
+    the colored edge, or [None] for a tight orbit or when every move
+    fails (which the lemmas say cannot happen when the palette is at
+    least the classification's implicit bound — the test suite
+    measures exactly this). *)
+val make_progress :
+  ?rng:Random.State.t -> Coloring.Edge_coloring.t -> orbit -> int option
+
+(** {1 Edge orbits and witnesses (Definitions 5.6, 5.7)} *)
+
+(** A grown edge orbit: the node set reached so far and the colors its
+    alternating paths consumed (a color is {e free} for the orbit if
+    no path used it). *)
+type edge_orbit = {
+  seed : int list;       (** the uncolored seed edges *)
+  vertices : int list;
+  used_colors : int list;
+}
+
+type growth =
+  | Grew of edge_orbit
+      (** Lemma 5.4: a larger orbit (at least one new vertex) *)
+  | Delta_witness of int
+      (** some orbit node misses only non-free colors — the palette is
+          degree-bound-tight (Lemma 5.5) *)
+  | Gamma_witness
+      (** every free color is full on the orbit — Γ-tight
+          (Lemma 5.6) *)
+
+(** Seed orbit for an uncolored edge: its endpoints, no used colors. *)
+val seed_orbit : Coloring.Edge_coloring.t -> int -> edge_orbit
+
+(** One step of the paper's grow-or-witness alternative (Lemma 5.4):
+    either extend the orbit along an alternating path whose two colors
+    are free for the orbit, or report why no such extension exists. *)
+val grow : Coloring.Edge_coloring.t -> edge_orbit -> growth
+
+(** Orbit-driven coloring engine — the paper's Phase 1 realized
+    through these structures rather than through direct Kempe search:
+    repeatedly classify the uncolored components, apply Lemmas 5.1/5.2
+    where they fire, and drive tight components through the
+    grow-or-witness loop, escalating the palette exactly when a
+    witness appears.  Slower than {!Hetero_coloring} but structurally
+    faithful to Section V-C1; benchmark E22 compares the two. *)
+type engine_stats = {
+  palette : int;
+  witnesses_delta : int;
+  witnesses_gamma : int;
+  orbit_growths : int;
+  largest_orbit : int;
+}
+
+val color_via_orbits :
+  ?rng:Random.State.t -> Instance.t -> Coloring.Edge_coloring.t * engine_stats

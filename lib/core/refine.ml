@@ -1,0 +1,95 @@
+module Multigraph = Mgraph.Multigraph
+
+type stats = { rounds_before : int; rounds_after : int; moves : int }
+
+let refine inst sched =
+  let g = Instance.graph inst in
+  let n = Instance.n_disks inst in
+  let rounds =
+    Array.to_list (Schedule.rounds sched) |> List.map (fun r -> ref r)
+  in
+  let rounds = Array.of_list rounds in
+  let k = Array.length rounds in
+  (* per-round per-disk load *)
+  let load = Array.init k (fun _ -> Array.make n 0) in
+  Array.iteri
+    (fun r edges ->
+      List.iter
+        (fun e ->
+          let u, v = Multigraph.endpoints g e in
+          load.(r).(u) <- load.(r).(u) + 1;
+          load.(r).(v) <- load.(r).(v) + 1)
+        !edges)
+    rounds;
+  let fits r e =
+    let u, v = Multigraph.endpoints g e in
+    load.(r).(u) < Instance.cap inst u && load.(r).(v) < Instance.cap inst v
+  in
+  let alive = Array.make k true in
+  let moves = ref 0 in
+  let try_dissolve victim =
+    (* find a home for every edge of the victim round, transactionally *)
+    let placed = ref [] in
+    let ok =
+      List.for_all
+        (fun e ->
+          let home = ref (-1) in
+          for r = 0 to k - 1 do
+            if !home < 0 && r <> victim && alive.(r) && fits r e then home := r
+          done;
+          if !home < 0 then false
+          else begin
+            let u, v = Multigraph.endpoints g e in
+            load.(!home).(u) <- load.(!home).(u) + 1;
+            load.(!home).(v) <- load.(!home).(v) + 1;
+            placed := (e, !home) :: !placed;
+            true
+          end)
+        !(rounds.(victim))
+    in
+    if ok then begin
+      List.iter
+        (fun (e, r) ->
+          rounds.(r) := e :: !(rounds.(r));
+          incr moves)
+        !placed;
+      rounds.(victim) := [];
+      alive.(victim) <- false;
+      true
+    end
+    else begin
+      (* roll the tentative placements back *)
+      List.iter
+        (fun (e, r) ->
+          let u, v = Multigraph.endpoints g e in
+          load.(r).(u) <- load.(r).(u) - 1;
+          load.(r).(v) <- load.(r).(v) - 1)
+        !placed;
+      false
+    end
+  in
+  (* attack rounds smallest-first until no round dissolves *)
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let candidates =
+      List.init k Fun.id
+      |> List.filter (fun r -> alive.(r) && !(rounds.(r)) <> [])
+      |> List.sort (fun a b ->
+             compare (List.length !(rounds.(a))) (List.length !(rounds.(b))))
+    in
+    List.iter
+      (fun r -> if alive.(r) && try_dissolve r then progress := true)
+      candidates
+  done;
+  let surviving =
+    Array.to_list rounds
+    |> List.filter_map (fun r -> if !r = [] then None else Some !r)
+  in
+  let out = Schedule.of_rounds (Array.of_list surviving) in
+  ( out,
+    {
+      rounds_before = Schedule.n_rounds sched;
+      rounds_after = Schedule.n_rounds out;
+      moves = !moves;
+    } )

@@ -1,0 +1,21 @@
+(** Schedule refinement: round elimination by redistribution.
+
+    A post-pass over any feasible schedule: repeatedly try to dissolve
+    the smallest round by moving each of its transfers into some other
+    round with spare constraint room at both endpoints.  If every
+    transfer of the round relocates, the schedule shrinks by one round
+    — turning "lower bound + 1" outputs into optimal ones when the
+    slack exists, at zero risk (relocation is validated move by move,
+    and a round that cannot fully dissolve is left untouched).
+
+    This is a pure improvement pass: output rounds <= input rounds and
+    validity is preserved (asserted by construction: every move keeps
+    all per-disk per-round counts within [c_v]). *)
+
+type stats = {
+  rounds_before : int;
+  rounds_after : int;
+  moves : int;  (** transfers relocated *)
+}
+
+val refine : Instance.t -> Schedule.t -> Schedule.t * stats

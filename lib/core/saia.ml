@@ -1,0 +1,25 @@
+module Multigraph = Mgraph.Multigraph
+module Ec = Coloring.Edge_coloring
+
+let round_bound inst =
+  let d =
+    Split_graph.split_degree_bound (Instance.graph inst)
+      ~caps:(Instance.caps inst)
+  in
+  max 1 (3 * d / 2)
+
+let schedule ?rng inst =
+  let g = Instance.graph inst in
+  if Multigraph.n_edges g = 0 then Schedule.of_rounds [||]
+  else begin
+    let sg = Split_graph.split g ~caps:(Instance.caps inst) in
+    let ec = Coloring.Shannon.color ?rng sg in
+    (* split edge ids coincide with original edge ids *)
+    let rounds = Array.make (Ec.n_colors ec) [] in
+    Multigraph.iter_edges sg (fun { Multigraph.id; _ } ->
+        match Ec.color_of ec id with
+        | Some c -> rounds.(c) <- id :: rounds.(c)
+        | None -> assert false);
+    let nonempty = Array.to_list rounds |> List.filter (fun r -> r <> []) in
+    Schedule.of_rounds (Array.of_list nonempty)
+  end

@@ -1,0 +1,20 @@
+(** Saia's 1.5-approximation baseline (cited as [9] in the paper).
+
+    Split each disk [v] into [c_v] static copies, distribute its edges
+    evenly (copy degree at most [ceil(d_v/c_v) = Δ̄]-ish), and
+    Shannon-color the resulting multigraph with at most [floor(3Δ'/2)]
+    colors.  Contracting copies yields a feasible schedule of at most
+    [1.5 · Δ̄ + O(1)] rounds — the guarantee the paper's general
+    algorithm improves to [OPT + O(sqrt OPT)].
+
+    The static split is what loses the factor 1.5: it fixes the
+    edge-to-copy assignment up front, whereas the paper's algorithm in
+    effect re-balances copies during coloring. *)
+
+(** [schedule ?rng inst] — feasible schedule with at most
+    [floor(3 Δ̄' / 2)] rounds where [Δ̄'] is the split-graph degree. *)
+val schedule : ?rng:Random.State.t -> Instance.t -> Schedule.t
+
+(** The theoretical round bound for this instance,
+    [floor(3 * split-degree / 2)], for test assertions. *)
+val round_bound : Instance.t -> int

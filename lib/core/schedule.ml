@@ -1,0 +1,139 @@
+module Multigraph = Mgraph.Multigraph
+module Ec = Coloring.Edge_coloring
+
+type t = { rounds : int list array }
+
+let of_rounds rounds = { rounds = Array.copy rounds }
+
+let of_coloring ec =
+  if not (Ec.is_complete ec) then
+    invalid_arg "Schedule.of_coloring: coloring incomplete";
+  let classes = Ec.classes ec in
+  let nonempty = Array.to_list classes |> List.filter (fun c -> c <> []) in
+  { rounds = Array.of_list nonempty }
+
+let n_rounds t = Array.length t.rounds
+
+let round t i =
+  if i < 0 || i >= n_rounds t then invalid_arg "Schedule.round";
+  t.rounds.(i)
+
+let rounds t = Array.copy t.rounds
+
+let n_items t =
+  Array.fold_left (fun acc r -> acc + List.length r) 0 t.rounds
+
+let validate inst t =
+  let g = Instance.graph inst in
+  let m = Multigraph.n_edges g in
+  let seen = Array.make m false in
+  let err = ref None in
+  let set_err msg = if !err = None then err := Some msg in
+  Array.iteri
+    (fun i items ->
+      let load = Hashtbl.create 16 in
+      let bump v =
+        let c = (try Hashtbl.find load v with Not_found -> 0) + 1 in
+        Hashtbl.replace load v c;
+        if c > Instance.cap inst v then
+          set_err
+            (Printf.sprintf "round %d: disk %d exceeds its constraint %d" i v
+               (Instance.cap inst v))
+      in
+      List.iter
+        (fun e ->
+          if e < 0 || e >= m then set_err (Printf.sprintf "unknown item %d" e)
+          else begin
+            if seen.(e) then
+              set_err (Printf.sprintf "item %d scheduled twice" e);
+            seen.(e) <- true;
+            let u, v = Multigraph.endpoints g e in
+            bump u;
+            bump v
+          end)
+        items)
+    t.rounds;
+  Array.iteri
+    (fun e s ->
+      if not s then set_err (Printf.sprintf "item %d never scheduled" e))
+    seen;
+  match !err with None -> Ok () | Some msg -> Error msg
+
+let max_parallelism inst t =
+  let g = Instance.graph inst in
+  Array.map
+    (fun items ->
+      let load = Hashtbl.create 16 in
+      let bump v =
+        Hashtbl.replace load v ((try Hashtbl.find load v with Not_found -> 0) + 1)
+      in
+      List.iter
+        (fun e ->
+          let u, v = Multigraph.endpoints g e in
+          bump u;
+          bump v)
+        items;
+      Hashtbl.fold (fun _ c acc -> max c acc) load 0)
+    t.rounds
+
+let utilization inst t =
+  if n_rounds t = 0 then 1.0
+  else begin
+    let total_cap =
+      Array.fold_left ( + ) 0 (Instance.caps inst) |> float_of_int
+    in
+    if total_cap = 0.0 then 1.0
+    else begin
+      let used =
+        Array.fold_left (fun acc r -> acc + (2 * List.length r)) 0 t.rounds
+      in
+      float_of_int used /. (total_cap *. float_of_int (n_rounds t))
+    end
+  end
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "rounds %d\n" (n_rounds t));
+  Array.iter
+    (fun items ->
+      Buffer.add_string buf
+        (String.concat " " (List.map string_of_int items));
+      Buffer.add_char buf '\n')
+    t.rounds;
+  Buffer.contents buf
+
+let of_string s =
+  let fail msg = failwith ("Schedule.of_string: " ^ msg) in
+  match String.split_on_char '\n' s with
+  | header :: rest -> (
+      match String.split_on_char ' ' (String.trim header) with
+      | [ "rounds"; k ] -> (
+          match int_of_string_opt k with
+          | None -> fail "bad round count"
+          | Some k ->
+              if k < 0 then fail "negative round count";
+              let lines = Array.of_list rest in
+              if Array.length lines < k then fail "missing round lines";
+              let parse_round line =
+                String.split_on_char ' ' (String.trim line)
+                |> List.filter (fun tok -> tok <> "")
+                |> List.map (fun tok ->
+                       match int_of_string_opt tok with
+                       | Some e when e >= 0 -> e
+                       | _ -> fail ("bad edge id: " ^ tok))
+              in
+              { rounds = Array.init k (fun i -> parse_round lines.(i)) })
+      | _ -> fail "missing header")
+  | [] -> fail "empty input"
+
+let pp ppf t =
+  let pp_items ppf items =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+      Format.pp_print_int ppf items
+  in
+  Format.fprintf ppf "@[<v>schedule: %d rounds@," (n_rounds t);
+  Array.iteri
+    (fun i items -> Format.fprintf ppf "  round %d: @[<h>%a@]@," i pp_items items)
+    t.rounds;
+  Format.fprintf ppf "@]"

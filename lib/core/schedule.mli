@@ -1,0 +1,43 @@
+(** Migration schedules.
+
+    A schedule partitions the items (edges) of an instance into
+    rounds; it is feasible when, in every round, each disk [v] is an
+    endpoint of at most [c_v] scheduled transfers.  The number of
+    rounds is the objective the paper minimizes. *)
+
+type t
+
+(** [of_rounds rounds] packs round lists (edge ids per round).  No
+    feasibility checking here — see {!validate}. *)
+val of_rounds : int list array -> t
+
+(** [of_coloring ec] converts a complete capacitated coloring: color
+    class [i] becomes round [i]; empty classes are dropped.
+    @raise Invalid_argument if the coloring is incomplete. *)
+val of_coloring : Coloring.Edge_coloring.t -> t
+
+val n_rounds : t -> int
+val round : t -> int -> int list
+val rounds : t -> int list array
+val n_items : t -> int
+
+(** [validate inst sched] checks that every item of [inst] is scheduled
+    exactly once and that every round respects every transfer
+    constraint.  [Ok ()] or a description of the first violation. *)
+val validate : Instance.t -> t -> (unit, string) result
+
+(** Per-round transfer counts of the busiest disk, for reporting. *)
+val max_parallelism : Instance.t -> t -> int array
+
+(** Fraction of capacity Σc_v actually used, averaged over rounds —
+    how well the schedule packs transfers. *)
+val utilization : Instance.t -> t -> float
+
+val pp : Format.formatter -> t -> unit
+
+(** Serialization: header ["rounds k"], then one line per round of
+    space-separated edge ids.  Round-trips exactly. *)
+val to_string : t -> string
+
+(** @raise Failure on malformed input. *)
+val of_string : string -> t

@@ -1,0 +1,190 @@
+module Multigraph = Mgraph.Multigraph
+
+type config = {
+  space : int array;
+  initial_load : int array;
+  bypass : int list;
+}
+
+exception Stuck of string
+
+let validate_config inst cfg =
+  let n = Instance.n_disks inst in
+  if Array.length cfg.space <> n || Array.length cfg.initial_load <> n then
+    invalid_arg "Space: config arrays must have one entry per disk";
+  Array.iteri
+    (fun d s ->
+      if s < 0 then invalid_arg "Space: negative capacity";
+      if cfg.initial_load.(d) < 0 then invalid_arg "Space: negative load";
+      if cfg.initial_load.(d) > s then
+        invalid_arg
+          (Printf.sprintf "Space: disk %d starts above capacity (%d > %d)" d
+             cfg.initial_load.(d) s))
+    cfg.space;
+  List.iter
+    (fun d -> if d < 0 || d >= n then invalid_arg "Space: bad bypass disk")
+    cfg.bypass
+
+(* Shared audit over (src, dst) moves per round: receive-before-free. *)
+let audit_rounds n cfg rounds_moves =
+  let load = Array.copy cfg.initial_load in
+  let err = ref None in
+  let set_err msg = if !err = None then err := Some msg in
+  List.iteri
+    (fun i moves ->
+      let arrivals = Array.make n 0 in
+      List.iter (fun (_, dst) -> arrivals.(dst) <- arrivals.(dst) + 1) moves;
+      for d = 0 to n - 1 do
+        if load.(d) + arrivals.(d) > cfg.space.(d) then
+          set_err
+            (Printf.sprintf
+               "round %d: disk %d needs %d units but has capacity %d" i d
+               (load.(d) + arrivals.(d))
+               cfg.space.(d))
+      done;
+      List.iter
+        (fun (src, dst) ->
+          load.(src) <- load.(src) - 1;
+          load.(dst) <- load.(dst) + 1)
+        moves)
+    rounds_moves;
+  match !err with None -> Ok () | Some msg -> Error msg
+
+let check inst cfg sched =
+  validate_config inst cfg;
+  let g = Instance.graph inst in
+  let rounds_moves =
+    Array.to_list (Schedule.rounds sched)
+    |> List.map (List.map (fun e -> Multigraph.endpoints g e))
+  in
+  audit_rounds (Instance.n_disks inst) cfg rounds_moves
+
+let check_plan inst cfg plan =
+  validate_config inst cfg;
+  let rounds_moves =
+    Array.to_list (Forwarding.rounds plan)
+    |> List.map
+         (List.map (fun h -> (h.Forwarding.src, h.Forwarding.dst)))
+  in
+  audit_rounds (Instance.n_disks inst) cfg rounds_moves
+
+(* ------------------------------------------------------------------ *)
+(* Space-aware planning                                                 *)
+
+let plan ?rng inst cfg =
+  validate_config inst cfg;
+  ignore rng;
+  let g = Instance.graph inst in
+  let n = Instance.n_disks inst in
+  let m = Multigraph.n_edges g in
+  if m = 0 then Forwarding.of_rounds [||]
+  else begin
+    let pos = Array.init m (fun e -> fst (Multigraph.endpoints g e)) in
+    let target = Array.init m (fun e -> snd (Multigraph.endpoints g e)) in
+    let delivered = Array.make m false in
+    let pending = ref m in
+    let load = Array.copy cfg.initial_load in
+    let relay_budget = Array.make m (2 * n) in
+    let is_bypass = Array.make n false in
+    List.iter (fun d -> is_bypass.(d) <- true) cfg.bypass;
+    let rounds = ref [] in
+    let max_rounds = (10 * m) + 10 in
+    let round_no = ref 0 in
+    while !pending > 0 do
+      incr round_no;
+      if !round_no > max_rounds then
+        raise (Stuck "no progress within the round budget");
+      let streams = Array.make n 0 in
+      let arrivals = Array.make n 0 in
+      let hops = ref [] in
+      let can_stream d = streams.(d) < Instance.cap inst d in
+      let has_room d = load.(d) + arrivals.(d) + 1 <= cfg.space.(d) in
+      let take item dst =
+        let src = pos.(item) in
+        streams.(src) <- streams.(src) + 1;
+        streams.(dst) <- streams.(dst) + 1;
+        arrivals.(dst) <- arrivals.(dst) + 1;
+        hops := { Forwarding.item; src; dst } :: !hops
+      in
+      let moved = Array.make m false in
+      (* items waiting on the fullest disks go first: moving them is
+         what frees space elsewhere *)
+      let order =
+        List.init m Fun.id
+        |> List.filter (fun e -> not delivered.(e))
+        |> List.sort (fun a b ->
+               compare
+                 (cfg.space.(pos.(b)) - load.(pos.(b)))
+                 (cfg.space.(pos.(a)) - load.(pos.(a))))
+      in
+      (* pass 1: direct deliveries *)
+      List.iter
+        (fun item ->
+          let src = pos.(item) and dst = target.(item) in
+          if
+            (not moved.(item))
+            && can_stream src && can_stream dst && has_room dst
+          then begin
+            moved.(item) <- true;
+            take item dst
+          end)
+        order;
+      (* pass 2: relays, only for items whose target has no room *)
+      List.iter
+        (fun item ->
+          let src = pos.(item) and dst = target.(item) in
+          if
+            (not moved.(item))
+            && (not (has_room dst))
+            && can_stream src
+            && relay_budget.(item) > 0
+          then begin
+            (* pick a relay: prefer bypass disks, then most free room *)
+            let candidates =
+              List.init n Fun.id
+              |> List.filter (fun d ->
+                     d <> src && d <> dst && can_stream d && has_room d)
+            in
+            let score d =
+              ( (if is_bypass.(d) then 1 else 0),
+                cfg.space.(d) - load.(d) - arrivals.(d) )
+            in
+            match
+              List.fold_left
+                (fun acc d ->
+                  match acc with
+                  | None -> Some d
+                  | Some b -> if score d > score b then Some d else acc)
+                None candidates
+            with
+            | None -> ()
+            | Some r ->
+                moved.(item) <- true;
+                relay_budget.(item) <- relay_budget.(item) - 1;
+                take item r
+          end)
+        order;
+      (match !hops with
+      | [] ->
+          raise
+            (Stuck
+               (Printf.sprintf
+                  "deadlock with %d items pending: every target and relay is \
+                   full or saturated"
+                  !pending))
+      | hs ->
+          (* apply moves *)
+          List.iter
+            (fun h ->
+              load.(h.Forwarding.src) <- load.(h.Forwarding.src) - 1;
+              load.(h.Forwarding.dst) <- load.(h.Forwarding.dst) + 1;
+              pos.(h.Forwarding.item) <- h.Forwarding.dst;
+              if h.Forwarding.dst = target.(h.Forwarding.item) then begin
+                delivered.(h.Forwarding.item) <- true;
+                decr pending
+              end)
+            hs;
+          rounds := List.rev hs :: !rounds)
+    done;
+    Forwarding.of_rounds (Array.of_list (List.rev !rounds))
+  end

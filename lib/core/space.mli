@@ -1,0 +1,46 @@
+(** Migration under disk-space constraints (the model of Hall et al.,
+    discussed in the paper's Section II).
+
+    The core algorithms treat disks as having unlimited room for
+    arriving items.  In reality a disk holds at most [space_v] items;
+    Hall et al. showed that with one spare unit per disk good
+    schedules still exist, and introduced {e bypass nodes} — disks
+    used as temporary holding points — to break the deadlocks that
+    arise when the disks along a cyclic move are all full.
+
+    This module adds both notions on top of the transfer-constraint
+    model:
+
+    - {!check} audits an ordinary {!Schedule.t} against space: within
+      a round, arrivals are conservatively charged before departures
+      free anything (receive-before-free), so a disk needs
+      [load + arrivals <= space] every round;
+    - {!plan} builds a space-feasible plan directly.  Items hop toward
+      their targets greedily; an item whose target is full may relay
+      through a disk with spare room (preferring the configured bypass
+      disks), which makes the result a {!Forwarding.plan} — the same
+      two-hop machinery, reused.  Planning raises {!Stuck} when no
+      progress is possible (e.g. zero free units anywhere). *)
+
+type config = {
+  space : int array;         (** per-disk capacity, in items *)
+  initial_load : int array;  (** items on each disk before migration,
+                                 including the ones about to move *)
+  bypass : int list;         (** preferred relay disks, may be empty *)
+}
+
+exception Stuck of string
+
+(** @raise Invalid_argument on inconsistent sizes, negative loads, or
+    a disk that starts above its capacity. *)
+val validate_config : Instance.t -> config -> unit
+
+(** Space audit of a direct schedule (no relays). *)
+val check : Instance.t -> config -> Schedule.t -> (unit, string) result
+
+(** Space audit of a forwarding plan (relays allowed). *)
+val check_plan : Instance.t -> config -> Forwarding.plan -> (unit, string) result
+
+(** Space- and constraint-feasible plan; relays only when a target is
+    full.  @raise Stuck when deadlocked. *)
+val plan : ?rng:Random.State.t -> Instance.t -> config -> Forwarding.plan

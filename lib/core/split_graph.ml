@@ -1,0 +1,27 @@
+module Multigraph = Mgraph.Multigraph
+
+let offsets caps =
+  let n = Array.length caps in
+  let off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    off.(v + 1) <- off.(v) + caps.(v)
+  done;
+  off
+
+let split g ~caps =
+  let n = Multigraph.n_nodes g in
+  if Array.length caps <> n then invalid_arg "Split_graph.split";
+  let off = offsets caps in
+  let cursor = Array.make n 0 in
+  let copy_of v =
+    let c = off.(v) + cursor.(v) in
+    cursor.(v) <- (cursor.(v) + 1) mod caps.(v);
+    c
+  in
+  let sg = Multigraph.create ~n:off.(n) () in
+  Multigraph.iter_edges g (fun { Multigraph.u; v; _ } ->
+      ignore (Multigraph.add_edge sg (copy_of u) (copy_of v)));
+  sg
+
+let split_degree_bound g ~caps =
+  Multigraph.max_degree (split g ~caps)

@@ -1,0 +1,24 @@
+(** Node splitting for capacitated coloring.
+
+    Splitting disk [v] into [c_v] copies and distributing its incident
+    edges evenly turns a transfer-constraint instance into a plain
+    edge-coloring instance: any proper coloring of the split graph
+    contracts back to a coloring where [v] sees at most [c_v] edges per
+    color.  This is Saia's reduction (the 1.5-approximation baseline)
+    and the paper's Phase-2 device for the residual graph [G0]
+    (Section V-C3). *)
+
+(** [offsets caps] maps node [v] to the id of its first copy; copies of
+    [v] are [offsets.(v) .. offsets.(v) + caps.(v) - 1], and the total
+    copy count is [offsets.(n)] (the array has [n + 1] entries). *)
+val offsets : int array -> int array
+
+(** [split g ~caps] distributes each node's edge endpoints round-robin
+    over its copies, so copy degrees are at most [ceil(d_v / c_v)].
+    Returns the split graph (edge ids preserved: split edge [i]
+    corresponds to edge [i] of [g]). *)
+val split : Mgraph.Multigraph.t -> caps:int array -> Mgraph.Multigraph.t
+
+(** Max copy degree after splitting, [max_v ceil(d_v / c_v)] or less;
+    exposed for tests asserting the even-distribution property. *)
+val split_degree_bound : Mgraph.Multigraph.t -> caps:int array -> int

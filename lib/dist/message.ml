@@ -1,0 +1,33 @@
+let coordinator = -1
+
+type payload =
+  | Prepare of { round : int; transfers : (int * int * int) list }
+  | Transfer of { round : int; item : int; dst : int }
+  | Item_ack of { round : int; item : int }
+  | Round_done of { round : int }
+  | Status_query
+  | Status_report of { holder : int; items : int list }
+
+type t = {
+  from_node : int;
+  to_node : int;
+  sent_at : float;
+  payload : payload;
+}
+
+let pp_payload ppf = function
+  | Prepare { round; transfers } ->
+      Format.fprintf ppf "Prepare(r%d, %d transfers)" round
+        (List.length transfers)
+  | Transfer { round; item; dst } ->
+      Format.fprintf ppf "Transfer(r%d, item %d -> disk %d)" round item dst
+  | Item_ack { round; item } -> Format.fprintf ppf "ItemAck(r%d, item %d)" round item
+  | Round_done { round } -> Format.fprintf ppf "RoundDone(r%d)" round
+  | Status_query -> Format.fprintf ppf "StatusQuery"
+  | Status_report { holder; items } ->
+      Format.fprintf ppf "StatusReport(disk %d, %d items)" holder
+        (List.length items)
+
+let pp ppf m =
+  Format.fprintf ppf "%d -> %d @%.2f: %a" m.from_node m.to_node m.sent_at
+    pp_payload m.payload

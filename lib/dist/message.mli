@@ -1,0 +1,41 @@
+(** Protocol messages for distributed migration orchestration.
+
+    The paper schedules rounds; this layer is how a cluster actually
+    runs them: a coordinator broadcasts each round's transfer list,
+    source disks push the data, destination disks acknowledge to the
+    coordinator, and the round barrier is "all acks received".  All
+    messages are idempotent so the coordinator can retransmit on
+    timeout over lossy links.
+
+    Node addressing: disks are [0 .. n-1]; the coordinator is the
+    distinguished id {!coordinator}. *)
+
+(** The coordinator's node id (disks are [>= 0]). *)
+val coordinator : int
+
+type payload =
+  | Prepare of { round : int; transfers : (int * int * int) list }
+      (** [(item, src, dst)] — the round's transfer list, broadcast to
+          every disk that sources a transfer (idempotent: re-received
+          transfers already performed are ignored) *)
+  | Transfer of { round : int; item : int; dst : int }
+      (** the data message, source disk → destination disk *)
+  | Item_ack of { round : int; item : int }
+      (** destination disk → coordinator: item installed *)
+  | Round_done of { round : int }
+      (** coordinator → all participants: barrier released *)
+  | Status_query
+      (** recovering coordinator → disk: which scheduled items do you
+          hold? *)
+  | Status_report of { holder : int; items : int list }
+      (** disk → coordinator: installed items (among those the
+          schedule targets at this disk) *)
+
+type t = {
+  from_node : int;
+  to_node : int;
+  sent_at : float;
+  payload : payload;
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type t = {
+  latency : float;
+  jitter : float;
+  per_item : float;
+  loss : float;
+  rng : Random.State.t;
+  queue : (float * Message.t) Mgraph.Heap.t;
+  mutable offered : int;
+  mutable dropped : int;
+}
+
+let create ?(latency = 0.1) ?(jitter = 0.02) ?(per_item = 1.0) ?(loss = 0.0)
+    ~seed () =
+  if latency < 0.0 || jitter < 0.0 || per_item < 0.0 then
+    invalid_arg "Net.create: negative timing";
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Net.create: loss in [0, 1)";
+  {
+    latency;
+    jitter;
+    per_item;
+    loss;
+    rng = Random.State.make [| seed; 0xd157 |];
+    queue = Mgraph.Heap.create ~leq:(fun (a, _) (b, _) -> a <= b) ();
+    offered = 0;
+    dropped = 0;
+  }
+
+let send net ~now msg =
+  net.offered <- net.offered + 1;
+  if Random.State.float net.rng 1.0 < net.loss then
+    net.dropped <- net.dropped + 1
+  else begin
+    let base =
+      net.latency
+      +. (if net.jitter > 0.0 then Random.State.float net.rng net.jitter
+          else 0.0)
+    in
+    let service =
+      match msg.Message.payload with
+      | Message.Transfer _ -> net.per_item
+      | _ -> 0.0
+    in
+    Mgraph.Heap.push net.queue (now +. base +. service, msg)
+  end
+
+let next_delivery net = Mgraph.Heap.pop_opt net.queue
+let requeue net at msg = Mgraph.Heap.push net.queue (at, msg)
+let offered net = net.offered
+let dropped net = net.dropped

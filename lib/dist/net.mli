@@ -1,0 +1,42 @@
+(** Lossy, delayed message delivery.
+
+    Control messages take [latency] (± uniform [jitter]); data messages
+    ({!Message.Transfer}) additionally pay [per_item] transfer time.
+    Every message is independently dropped with probability [loss].
+    Deterministic for a fixed seed.
+
+    The network owns the global event queue: components call
+    {!send}, the {!Runner} pops deliveries in timestamp order. *)
+
+type t
+
+(** Defaults: [latency = 0.1], [jitter = 0.02], [per_item = 1.0] (data
+    transfer service time), [loss = 0.0].
+    @raise Invalid_argument on negative latency/jitter/per_item or
+    [loss] outside [0, 1). *)
+val create :
+  ?latency:float ->
+  ?jitter:float ->
+  ?per_item:float ->
+  ?loss:float ->
+  seed:int ->
+  unit ->
+  t
+
+(** [send net ~now msg] enqueues [msg] for future delivery (or drops
+    it). *)
+val send : t -> now:float -> Message.t -> unit
+
+(** Earliest undelivered message, removed from the queue; [None] when
+    the network is quiet. *)
+val next_delivery : t -> (float * Message.t) option
+
+(** [requeue net at msg] puts a popped delivery back unchanged (no
+    extra latency, no loss) — used by the runner when a timer fires
+    before the next delivery. *)
+val requeue : t -> float -> Message.t -> unit
+
+(** Statistics: messages offered, dropped, delivered so far. *)
+val offered : t -> int
+
+val dropped : t -> int

@@ -1,0 +1,289 @@
+type report = {
+  rounds : int;
+  wall_time : float;
+  messages_offered : int;
+  messages_dropped : int;
+  retransmissions : int;
+  items_delivered : int;
+  failovers : int;
+}
+
+exception Protocol_stuck of string
+
+type mode =
+  | Up
+  | Down of float  (* stand-by takes over at this time *)
+  | Recovering
+
+type coordinator = {
+  schedule : (int * int * int) list array;  (* per round: item, src, dst *)
+  mutable round : int;
+  outstanding : (int, unit) Hashtbl.t;      (* items awaiting ack *)
+  mutable retransmissions : int;
+  mutable next_timeout : float;
+  mutable mode : mode;
+  reports : (int, int list) Hashtbl.t;      (* disk -> installed items *)
+  mutable failovers : int;
+}
+
+let run ?(timeout = 6.0) ?crash net (job : Storsim.Cluster.job) sched =
+  let m = Array.length job.Storsim.Cluster.items in
+  let n_disks = Migration.Instance.n_disks job.Storsim.Cluster.instance in
+  let rounds = Migration.Schedule.rounds sched in
+  let coord =
+    {
+      schedule =
+        Array.map
+          (fun edges ->
+            List.map
+              (fun e ->
+                ( e,
+                  job.Storsim.Cluster.sources.(e),
+                  job.Storsim.Cluster.targets.(e) ))
+              edges)
+          rounds;
+      round = 0;
+      outstanding = Hashtbl.create 64;
+      retransmissions = 0;
+      next_timeout = infinity;
+      mode = Up;
+      reports = Hashtbl.create 16;
+      failovers = 0;
+    }
+  in
+  let crash_pending = ref crash in
+  (* per-item protocol state (ground truth held by the disks) *)
+  let installed = Array.make m false in
+  let items_delivered = ref 0 in
+  let now = ref 0.0 in
+  let send_prepare ~only_missing =
+    if coord.round < Array.length coord.schedule then begin
+      let transfers =
+        List.filter
+          (fun (item, _, _) ->
+            (not only_missing) || Hashtbl.mem coord.outstanding item)
+          coord.schedule.(coord.round)
+      in
+      let by_src = Hashtbl.create 16 in
+      List.iter
+        (fun ((_, src, _) as tr) ->
+          Hashtbl.replace by_src src
+            (tr :: (try Hashtbl.find by_src src with Not_found -> [])))
+        transfers;
+      Hashtbl.iter
+        (fun src trs ->
+          Net.send net ~now:!now
+            {
+              Message.from_node = Message.coordinator;
+              to_node = src;
+              sent_at = !now;
+              payload = Message.Prepare { round = coord.round; transfers = trs };
+            })
+        by_src;
+      coord.next_timeout <- !now +. timeout
+    end
+  in
+  let start_round () =
+    if coord.round < Array.length coord.schedule then begin
+      Hashtbl.reset coord.outstanding;
+      List.iter
+        (fun (item, _, _) -> Hashtbl.replace coord.outstanding item ())
+        coord.schedule.(coord.round);
+      if Hashtbl.length coord.outstanding = 0 then begin
+        (* empty round: skip *)
+        coord.round <- coord.round + 1;
+        coord.next_timeout <- infinity
+      end
+      else send_prepare ~only_missing:false
+    end
+    else coord.next_timeout <- infinity
+  in
+  let rec advance_if_empty () =
+    if
+      coord.round < Array.length coord.schedule
+      && Hashtbl.length coord.outstanding = 0
+    then begin
+      (* barrier released: tell the round's participants *)
+      let participants =
+        List.concat_map
+          (fun (_, src, dst) -> [ src; dst ])
+          coord.schedule.(coord.round)
+        |> List.sort_uniq compare
+      in
+      List.iter
+        (fun node ->
+          Net.send net ~now:!now
+            {
+              Message.from_node = Message.coordinator;
+              to_node = node;
+              sent_at = !now;
+              payload = Message.Round_done { round = coord.round };
+            })
+        participants;
+      coord.round <- coord.round + 1;
+      coord.next_timeout <- infinity;
+      start_round ();
+      advance_if_empty ()
+    end
+  in
+  let broadcast_query () =
+    for d = 0 to n_disks - 1 do
+      if not (Hashtbl.mem coord.reports d) then
+        Net.send net ~now:!now
+          {
+            Message.from_node = Message.coordinator;
+            to_node = d;
+            sent_at = !now;
+            payload = Message.Status_query;
+          }
+    done;
+    coord.next_timeout <- !now +. timeout
+  in
+  let finish_recovery () =
+    (* resume from the first round with an unconfirmed item *)
+    let confirmed = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun _ items -> List.iter (fun i -> Hashtbl.replace confirmed i ()) items)
+      coord.reports;
+    let rec find r =
+      if r >= Array.length coord.schedule then r
+      else if
+        List.exists
+          (fun (item, _, _) -> not (Hashtbl.mem confirmed item))
+          coord.schedule.(r)
+      then r
+      else find (r + 1)
+    in
+    coord.round <- find 0;
+    coord.mode <- Up;
+    if coord.round < Array.length coord.schedule then begin
+      Hashtbl.reset coord.outstanding;
+      List.iter
+        (fun (item, _, _) ->
+          if not (Hashtbl.mem confirmed item) then
+            Hashtbl.replace coord.outstanding item ())
+        coord.schedule.(coord.round);
+      if Hashtbl.length coord.outstanding = 0 then advance_if_empty ()
+      else send_prepare ~only_missing:true
+    end
+    else coord.next_timeout <- infinity
+  in
+  let handle (msg : Message.t) =
+    match msg.Message.payload with
+    | Message.Prepare { round; transfers } ->
+        (* sources act on any Prepare for the round they believe is
+           live; a stale one (late retransmission of an older round)
+           only re-pushes items whose duplicates are ignored *)
+        if round <= coord.round || coord.mode <> Up then
+          List.iter
+            (fun (item, _src, dst) ->
+              Net.send net ~now:!now
+                {
+                  Message.from_node = msg.Message.to_node;
+                  to_node = dst;
+                  sent_at = !now;
+                  payload = Message.Transfer { round; item; dst };
+                })
+            transfers
+    | Message.Transfer { round; item; _ } ->
+        (* install (idempotent) and ack *)
+        if not installed.(item) then begin
+          installed.(item) <- true;
+          incr items_delivered
+        end;
+        Net.send net ~now:!now
+          {
+            Message.from_node = msg.Message.to_node;
+            to_node = Message.coordinator;
+            sent_at = !now;
+            payload = Message.Item_ack { round; item };
+          }
+    | Message.Item_ack { round; item } -> (
+        match coord.mode with
+        | Up ->
+            if round = coord.round then begin
+              Hashtbl.remove coord.outstanding item;
+              advance_if_empty ()
+            end
+        | Down _ | Recovering -> (* the crashed coordinator lost it *) ())
+    | Message.Round_done _ -> ()
+    | Message.Status_query ->
+        (* the queried disk reports the scheduled items it holds *)
+        let disk = msg.Message.to_node in
+        let held =
+          List.init m Fun.id
+          |> List.filter (fun item ->
+                 installed.(item) && job.Storsim.Cluster.targets.(item) = disk)
+        in
+        Net.send net ~now:!now
+          {
+            Message.from_node = disk;
+            to_node = Message.coordinator;
+            sent_at = !now;
+            payload = Message.Status_report { holder = disk; items = held };
+          }
+    | Message.Status_report { holder; items } -> (
+        match coord.mode with
+        | Recovering ->
+            Hashtbl.replace coord.reports holder items;
+            if Hashtbl.length coord.reports = n_disks then finish_recovery ()
+        | Up | Down _ -> ())
+  in
+  let maybe_crash at =
+    match !crash_pending with
+    | Some (crash_at, delay) when at >= crash_at ->
+        crash_pending := None;
+        coord.failovers <- coord.failovers + 1;
+        coord.mode <- Down (crash_at +. delay);
+        Hashtbl.reset coord.outstanding;
+        Hashtbl.reset coord.reports;
+        coord.next_timeout <- crash_at +. delay
+    | _ -> ()
+  in
+  let on_timeout () =
+    coord.retransmissions <- coord.retransmissions + 1;
+    if coord.retransmissions > 10_000 then
+      raise (Protocol_stuck "retransmission budget exhausted");
+    match coord.mode with
+    | Up -> send_prepare ~only_missing:true
+    | Down takeover_at ->
+        if !now >= takeover_at then begin
+          coord.mode <- Recovering;
+          broadcast_query ()
+        end
+        else coord.next_timeout <- takeover_at
+    | Recovering -> broadcast_query () (* re-query the silent disks *)
+  in
+  start_round ();
+  advance_if_empty ();
+  while coord.round < Array.length coord.schedule do
+    (* next event: delivery or coordinator timeout *)
+    match Net.next_delivery net with
+    | Some (at, msg) when at <= coord.next_timeout ->
+        now := at;
+        maybe_crash at;
+        handle msg
+    | other ->
+        (* the timeout fires first: put any popped delivery back *)
+        (match other with
+        | Some (at, msg) -> Net.requeue net at msg
+        | None ->
+            if coord.next_timeout = infinity then
+              raise (Protocol_stuck "quiescent network with rounds remaining"));
+        now := coord.next_timeout;
+        maybe_crash !now;
+        on_timeout ()
+  done;
+  (* every scheduled item must have been installed *)
+  Array.iter
+    (fun edges -> List.iter (fun (item, _, _) -> assert installed.(item)) edges)
+    coord.schedule;
+  {
+    rounds = Array.length coord.schedule;
+    wall_time = !now;
+    messages_offered = Net.offered net;
+    messages_dropped = Net.dropped net;
+    retransmissions = coord.retransmissions;
+    items_delivered = !items_delivered;
+    failovers = coord.failovers;
+  }

@@ -1,0 +1,65 @@
+type problem = {
+  n_left : int;
+  n_right : int;
+  left_cap : int array;
+  right_cap : int array;
+  edges : (int * int) array;
+}
+
+let check p =
+  if Array.length p.left_cap <> p.n_left || Array.length p.right_cap <> p.n_right
+  then invalid_arg "Bmatching: capacity vector length mismatch";
+  Array.iter
+    (fun (l, r) ->
+      if l < 0 || l >= p.n_left || r < 0 || r >= p.n_right then
+        invalid_arg "Bmatching: edge endpoint out of range")
+    p.edges
+
+(* Network layout: 0 = source, 1 = sink, 2..2+nl-1 = left,
+   2+nl.. = right.  Edge arcs are added last, in edge order, so the
+   forward arc of edge i has id [first_edge_arc + 2*i]. *)
+let build p =
+  let net = Flow_network.create ~n:(2 + p.n_left + p.n_right) in
+  let left v = 2 + v and right v = 2 + p.n_left + v in
+  for l = 0 to p.n_left - 1 do
+    ignore (Flow_network.add_arc net ~src:0 ~dst:(left l) ~cap:p.left_cap.(l))
+  done;
+  for r = 0 to p.n_right - 1 do
+    ignore (Flow_network.add_arc net ~src:(right r) ~dst:1 ~cap:p.right_cap.(r))
+  done;
+  let first = Flow_network.n_arcs net in
+  Array.iter
+    (fun (l, r) ->
+      ignore (Flow_network.add_arc net ~src:(left l) ~dst:(right r) ~cap:1))
+    p.edges;
+  (net, first)
+
+let selection p net first =
+  Array.init (Array.length p.edges) (fun i ->
+      Flow_network.flow net (first + (2 * i)) = 1)
+
+let solve_max p =
+  check p;
+  let net, first = build p in
+  let value = Max_flow.max_flow net ~s:0 ~t:1 in
+  (selection p net first, value)
+
+let solve_exact p =
+  check p;
+  let sum a = Array.fold_left ( + ) 0 a in
+  let target = sum p.left_cap in
+  if target <> sum p.right_cap then None
+  else
+    let sel, value = solve_max p in
+    if value = target then Some sel else None
+
+let degrees p sel =
+  let ld = Array.make p.n_left 0 and rd = Array.make p.n_right 0 in
+  Array.iteri
+    (fun i (l, r) ->
+      if sel.(i) then begin
+        ld.(l) <- ld.(l) + 1;
+        rd.(r) <- rd.(r) + 1
+      end)
+    p.edges;
+  (ld, rd)

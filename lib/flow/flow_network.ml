@@ -1,0 +1,76 @@
+type t = {
+  mutable n : int;
+  dsts : int Mgraph.Vec.t;          (* per arc *)
+  caps : int Mgraph.Vec.t;          (* residual capacity, mutated by push *)
+  caps0 : int Mgraph.Vec.t;         (* original capacity, for reset *)
+  mutable adj : int Mgraph.Vec.t array;  (* outgoing arc ids per node *)
+  srcs : int Mgraph.Vec.t;          (* per arc *)
+}
+
+module Vec = Mgraph.Vec
+
+let create ~n =
+  if n < 0 then invalid_arg "Flow_network.create";
+  {
+    n;
+    dsts = Vec.create ~dummy:(-1) ();
+    caps = Vec.create ~dummy:0 ();
+    caps0 = Vec.create ~dummy:0 ();
+    adj = Array.init (max n 1) (fun _ -> Vec.create ~dummy:(-1) ());
+    srcs = Vec.create ~dummy:(-1) ();
+  }
+
+let n_nodes net = net.n
+
+let add_node net =
+  let id = net.n in
+  net.n <- net.n + 1;
+  let cap = Array.length net.adj in
+  if net.n > cap then begin
+    let adj =
+      Array.init (max (2 * cap) net.n) (fun i ->
+          if i < cap then net.adj.(i) else Vec.create ~dummy:(-1) ())
+    in
+    net.adj <- adj
+  end;
+  id
+
+let check_node net v = if v < 0 || v >= net.n then invalid_arg "Flow_network: bad node"
+
+let add_half net ~src ~dst ~cap =
+  let a = Vec.length net.dsts in
+  ignore (Vec.push net.dsts dst);
+  ignore (Vec.push net.srcs src);
+  ignore (Vec.push net.caps cap);
+  ignore (Vec.push net.caps0 cap);
+  ignore (Vec.push net.adj.(src) a);
+  a
+
+let add_arc net ~src ~dst ~cap =
+  check_node net src;
+  check_node net dst;
+  if cap < 0 then invalid_arg "Flow_network.add_arc: negative capacity";
+  let a = add_half net ~src ~dst ~cap in
+  ignore (add_half net ~src:dst ~dst:src ~cap:0);
+  a
+
+let n_arcs net = Vec.length net.dsts
+let src net a = Vec.get net.srcs a
+let dst net a = Vec.get net.dsts a
+let residual net a = Vec.get net.caps a
+let flow net a = Vec.get net.caps (a lxor 1)
+
+let push net a x =
+  let r = residual net a in
+  if x < 0 || x > r then invalid_arg "Flow_network.push";
+  Vec.set net.caps a (r - x);
+  Vec.set net.caps (a lxor 1) (Vec.get net.caps (a lxor 1) + x)
+
+let out_arcs net v =
+  check_node net v;
+  Vec.to_array net.adj.(v)
+
+let reset net =
+  for a = 0 to n_arcs net - 1 do
+    Vec.set net.caps a (Vec.get net.caps0 a)
+  done

@@ -1,0 +1,42 @@
+(** Directed flow networks with integer capacities.
+
+    Arcs are created in pairs: adding an arc also adds its residual
+    reverse arc of capacity 0.  Arc [a] and its reverse [a lxor 1]
+    always live at adjacent indices, the classic residual-graph
+    encoding. *)
+
+type t
+
+val create : n:int -> t
+val n_nodes : t -> int
+
+(** Adds one more node, returns its id. *)
+val add_node : t -> int
+
+(** [add_arc net ~src ~dst ~cap] returns the id of the forward arc.
+    @raise Invalid_argument on a negative capacity or bad endpoint. *)
+val add_arc : t -> src:int -> dst:int -> cap:int -> int
+
+val n_arcs : t -> int
+(** Counts both forward and residual arcs (always even). *)
+
+val src : t -> int -> int
+val dst : t -> int -> int
+
+(** Remaining capacity of an arc (forward or residual). *)
+val residual : t -> int -> int
+
+(** Flow currently pushed through a {e forward} arc: the capacity of
+    its reverse arc. *)
+val flow : t -> int -> int
+
+(** [push net a x] moves [x] units along arc [a] (decreasing its
+    residual, increasing the reverse arc's).
+    @raise Invalid_argument if [x] exceeds the residual. *)
+val push : t -> int -> int -> unit
+
+(** Arc ids leaving a node (forward and residual alike). *)
+val out_arcs : t -> int -> int array
+
+(** Resets all flow to zero. *)
+val reset : t -> unit

@@ -1,0 +1,105 @@
+let bfs_levels net ~s ~t =
+  let n = Flow_network.n_nodes net in
+  let level = Array.make n (-1) in
+  let queue = Queue.create () in
+  level.(s) <- 0;
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    Array.iter
+      (fun a ->
+        let v = Flow_network.dst net a in
+        if level.(v) < 0 && Flow_network.residual net a > 0 then begin
+          level.(v) <- level.(u) + 1;
+          Queue.add v queue
+        end)
+      (Flow_network.out_arcs net u)
+  done;
+  if level.(t) < 0 then None else Some level
+
+(* Dinic blocking flow by DFS with per-node arc cursors. *)
+let blocking_flow net ~s ~t level =
+  let n = Flow_network.n_nodes net in
+  let arcs = Array.init n (fun v -> Flow_network.out_arcs net v) in
+  let cursor = Array.make n 0 in
+  let total = ref 0 in
+  let rec dfs u limit =
+    if u = t then limit
+    else begin
+      let pushed = ref 0 in
+      let continue = ref true in
+      while !continue && cursor.(u) < Array.length arcs.(u) do
+        let a = arcs.(u).(cursor.(u)) in
+        let v = Flow_network.dst net a in
+        let r = Flow_network.residual net a in
+        if r > 0 && level.(v) = level.(u) + 1 then begin
+          let got = dfs v (min (limit - !pushed) r) in
+          if got > 0 then begin
+            Flow_network.push net a got;
+            pushed := !pushed + got;
+            if !pushed = limit then continue := false
+          end
+          else cursor.(u) <- cursor.(u) + 1
+        end
+        else cursor.(u) <- cursor.(u) + 1
+      done;
+      !pushed
+    end
+  in
+  let rec loop () =
+    let got = dfs s max_int in
+    if got > 0 then begin
+      total := !total + got;
+      loop ()
+    end
+  in
+  loop ();
+  !total
+
+let max_flow net ~s ~t =
+  if s = t then invalid_arg "Max_flow.max_flow: s = t";
+  let total = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match bfs_levels net ~s ~t with
+    | None -> continue := false
+    | Some level -> total := !total + blocking_flow net ~s ~t level
+  done;
+  !total
+
+let min_cut net ~s =
+  let n = Flow_network.n_nodes net in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(s) <- true;
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    Array.iter
+      (fun a ->
+        let v = Flow_network.dst net a in
+        if (not seen.(v)) && Flow_network.residual net a > 0 then begin
+          seen.(v) <- true;
+          Queue.add v queue
+        end)
+      (Flow_network.out_arcs net u)
+  done;
+  seen
+
+let conservation_ok net ~s ~t =
+  let n = Flow_network.n_nodes net in
+  let balance = Array.make n 0 in
+  (* forward arcs are the even-indexed ones *)
+  let a = ref 0 in
+  let ok = ref true in
+  while !a < Flow_network.n_arcs net do
+    let f = Flow_network.flow net !a in
+    if f < 0 then ok := false;
+    balance.(Flow_network.src net !a) <- balance.(Flow_network.src net !a) - f;
+    balance.(Flow_network.dst net !a) <- balance.(Flow_network.dst net !a) + f;
+    a := !a + 2
+  done;
+  for v = 0 to n - 1 do
+    if v <> s && v <> t && balance.(v) <> 0 then ok := false
+  done;
+  !ok

@@ -1,0 +1,18 @@
+(** Maximum flow (Dinic's algorithm).
+
+    Used by the even-capacity scheduler to extract the exact
+    [c_v/2]-matchings of the paper's Figure 3 flow network, and by the
+    degree-constrained-subgraph helper {!Bmatching}. *)
+
+(** [max_flow net ~s ~t] augments [net] in place to a maximum [s]-[t]
+    flow and returns its value.  Complexity O(V^2 E); O(E sqrt V) on
+    unit-capacity bipartite networks, the case this repo exercises. *)
+val max_flow : Flow_network.t -> s:int -> t:int -> int
+
+(** [min_cut net ~s] after a {!max_flow} run: the set of nodes residual-
+    reachable from [s].  Arcs leaving the set certify optimality. *)
+val min_cut : Flow_network.t -> s:int -> bool array
+
+(** Checks flow conservation at every node except [s] and [t]; exposed
+    for tests. *)
+val conservation_ok : Flow_network.t -> s:int -> t:int -> bool

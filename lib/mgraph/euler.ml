@@ -1,0 +1,79 @@
+type arc = { edge : int; src : int; dst : int }
+
+let all_degrees_even g =
+  let rec loop v =
+    v >= Multigraph.n_nodes g || (Multigraph.degree g v mod 2 = 0 && loop (v + 1))
+  in
+  loop 0
+
+let check_even g =
+  if not (all_degrees_even g) then
+    invalid_arg "Euler: graph has a node of odd degree"
+
+(* Hierholzer with a shared per-node adjacency cursor and a used-edge
+   mask, so repeated calls inside [circuits] stay linear overall. *)
+type state = {
+  adj : int array array;  (* incident edge ids per node *)
+  ptr : int array;        (* next unexplored position in adj.(v) *)
+  used : bool array;
+}
+
+let make_state g =
+  let n = Multigraph.n_nodes g in
+  {
+    adj = Array.init n (fun v -> Array.of_list (Multigraph.incident g v));
+    ptr = Array.make n 0;
+    used = Array.make (Multigraph.n_edges g) false;
+  }
+
+let circuit_of_state g st start =
+  (* stack elements: (node, edge used to enter it, node it was entered from) *)
+  let stack = ref [ (start, -1, -1) ] in
+  let out = ref [] in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | (v, ein, from) :: rest ->
+        let row = st.adj.(v) in
+        while st.ptr.(v) < Array.length row && st.used.(row.(st.ptr.(v))) do
+          st.ptr.(v) <- st.ptr.(v) + 1
+        done;
+        if st.ptr.(v) >= Array.length row then begin
+          stack := rest;
+          if ein >= 0 then out := { edge = ein; src = from; dst = v } :: !out
+        end
+        else begin
+          let e = row.(st.ptr.(v)) in
+          st.used.(e) <- true;
+          let w = Multigraph.other_endpoint g e v in
+          stack := (w, e, v) :: !stack
+        end
+  done;
+  !out
+
+let circuit_from g v =
+  check_even g;
+  let st = make_state g in
+  circuit_of_state g st v
+
+let circuits g =
+  check_even g;
+  let st = make_state g in
+  let comp, k = Traversal.components g in
+  (* pick a representative node per component, skip edgeless ones *)
+  let rep = Array.make k (-1) in
+  for v = 0 to Multigraph.n_nodes g - 1 do
+    if rep.(comp.(v)) < 0 && Multigraph.degree g v > 0 then rep.(comp.(v)) <- v
+  done;
+  Array.to_list rep
+  |> List.filter_map (fun v ->
+         if v < 0 then None else Some (circuit_of_state g st v))
+
+let orientation g =
+  let result = Array.make (Multigraph.n_edges g) (-1, -1) in
+  List.iter
+    (fun circuit ->
+      List.iter (fun { edge; src; dst } -> result.(edge) <- (src, dst)) circuit)
+    (circuits g);
+  result

@@ -1,0 +1,34 @@
+(** Euler circuits on multigraphs (Hierholzer's algorithm).
+
+    The even-capacity scheduler of the paper (Section IV, step 2) needs
+    an Euler circuit of the padded transfer graph, whose orientation
+    then defines the bipartite graph [H].  Circuits are computed per
+    connected component; a graph admits them iff every node has even
+    degree (self-loops count 2). *)
+
+type arc = {
+  edge : int;  (** edge id in the underlying graph *)
+  src : int;
+  dst : int;
+}
+
+(** True iff every node of [g] has even degree. *)
+val all_degrees_even : Multigraph.t -> bool
+
+(** [circuit_from g v] is an Euler circuit of [v]'s component, starting
+    and ending at [v], as the list of traversed arcs in order.  Every
+    edge of the component appears exactly once.
+    @raise Invalid_argument if some node of [g] has odd degree. *)
+val circuit_from : Multigraph.t -> int -> arc list
+
+(** One circuit per connected component that contains at least one
+    edge.
+    @raise Invalid_argument if some node of [g] has odd degree. *)
+val circuits : Multigraph.t -> arc list list
+
+(** [orientation g] assigns each edge the direction in which some Euler
+    circuit traverses it: [orientation g].(e) is [(src, dst)].  Each
+    node then has exactly [degree/2] outgoing and [degree/2] incoming
+    arcs — the property step 3 of the paper's algorithm needs.
+    @raise Invalid_argument if some node has odd degree. *)
+val orientation : Multigraph.t -> (int * int) array

@@ -1,0 +1,51 @@
+let to_edge_list g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" (Multigraph.n_nodes g) (Multigraph.n_edges g));
+  Multigraph.iter_edges g (fun { Multigraph.u; v; _ } ->
+      Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  Buffer.contents buf
+
+let tokens_of_string s =
+  String.split_on_char '\n' s
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let of_edge_list s =
+  let fail msg = failwith ("Graph_io.of_edge_list: " ^ msg) in
+  let int_of tok =
+    match int_of_string_opt tok with
+    | Some i -> i
+    | None -> fail ("not an integer: " ^ tok)
+  in
+  match tokens_of_string s with
+  | n :: m :: rest ->
+      let n = int_of n and m = int_of m in
+      if n < 0 || m < 0 then fail "negative header";
+      let g = Multigraph.create ~n () in
+      let rec loop i = function
+        | [] -> if i <> m then fail "fewer edges than header declares"
+        | u :: v :: rest ->
+            if i >= m then fail "more edges than header declares";
+            let u = int_of u and v = int_of v in
+            if u < 0 || u >= n || v < 0 || v >= n then fail "endpoint out of range";
+            ignore (Multigraph.add_edge g u v);
+            loop (i + 1) rest
+        | [ _ ] -> fail "dangling endpoint"
+      in
+      loop 0 rest;
+      g
+  | _ -> fail "missing header"
+
+let to_dot ?(name = "g") g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  for v = 0 to Multigraph.n_nodes g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  n%d;\n" v)
+  done;
+  Multigraph.iter_edges g (fun { Multigraph.id; u; v } ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -- n%d [label=\"e%d\"];\n" u v id));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Text serialization for multigraphs.
+
+    The edge-list format is one header line ["n m"] followed by [m]
+    lines ["u v"], whitespace-separated.  It round-trips edge ids
+    (edges are listed in id order). *)
+
+val to_edge_list : Multigraph.t -> string
+
+(** @raise Failure on malformed input. *)
+val of_edge_list : string -> Multigraph.t
+
+(** GraphViz [graph { ... }] rendering, for eyeballing instances. *)
+val to_dot : ?name:string -> Multigraph.t -> string

@@ -1,0 +1,69 @@
+(* Elements are stored boxed in [Some _] so the backing vector has a
+   safe polymorphic dummy ([None]) regardless of the element type. *)
+type 'a t = { data : 'a option Vec.t; leq : 'a -> 'a -> bool }
+
+let create ~leq () = { data = Vec.create ~dummy:None (); leq }
+
+let length h = Vec.length h.data
+let is_empty h = length h = 0
+
+let get h i =
+  match Vec.get h.data i with
+  | Some x -> x
+  | None -> assert false (* no [None] below [length] by construction *)
+
+let swap h i j =
+  let x = Vec.get h.data i in
+  Vec.set h.data i (Vec.get h.data j);
+  Vec.set h.data j x
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if not (h.leq (get h parent) (get h i)) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let n = length h in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && not (h.leq (get h !smallest) (get h l)) then smallest := l;
+  if r < n && not (h.leq (get h !smallest) (get h r)) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h x =
+  let i = Vec.push h.data (Some x) in
+  sift_up h i
+
+let peek h =
+  if is_empty h then invalid_arg "Heap.peek: empty";
+  get h 0
+
+let pop h =
+  if is_empty h then invalid_arg "Heap.pop: empty";
+  let top = get h 0 in
+  let last = Vec.pop h.data in
+  if not (is_empty h) then begin
+    Vec.set h.data 0 last;
+    sift_down h 0
+  end;
+  top
+
+let pop_opt h = if is_empty h then None else Some (pop h)
+
+let of_list ~leq xs =
+  let h = create ~leq () in
+  List.iter (push h) xs;
+  h
+
+let drain h =
+  let rec loop acc =
+    match pop_opt h with None -> List.rev acc | Some x -> loop (x :: acc)
+  in
+  loop []

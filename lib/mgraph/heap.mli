@@ -1,0 +1,32 @@
+(** Binary min-heaps.
+
+    Generic priority queue used by the discrete-event simulator (event
+    queues ordered by timestamp) and by scheduling heuristics.  The
+    ordering is supplied at creation; ties are broken arbitrarily. *)
+
+type 'a t
+
+(** [create ~leq ()] is an empty heap ordered by [leq] (a total
+    preorder: [leq a b] means [a] has priority at least [b]'s). *)
+val create : leq:('a -> 'a -> bool) -> unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push h x] inserts [x]; O(log n). *)
+val push : 'a t -> 'a -> unit
+
+(** Smallest element.  @raise Invalid_argument on an empty heap. *)
+val peek : 'a t -> 'a
+
+(** Removes and returns the smallest element; O(log n).
+    @raise Invalid_argument on an empty heap. *)
+val pop : 'a t -> 'a
+
+(** [pop_opt h] is [None] on an empty heap. *)
+val pop_opt : 'a t -> 'a option
+
+val of_list : leq:('a -> 'a -> bool) -> 'a list -> 'a t
+
+(** Pops everything, smallest first. *)
+val drain : 'a t -> 'a list

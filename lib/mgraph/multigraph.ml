@@ -1,0 +1,156 @@
+type edge = { id : int; u : int; v : int }
+
+type t = {
+  mutable n : int;
+  edges : edge Vec.t;
+  (* adjacency: for each node, incident edge ids (self-loop listed once) *)
+  mutable adj : int Vec.t array;
+  mutable deg : int array;
+}
+
+let dummy_edge = { id = -1; u = -1; v = -1 }
+
+let create ?(n = 0) () =
+  if n < 0 then invalid_arg "Multigraph.create";
+  {
+    n;
+    edges = Vec.create ~dummy:dummy_edge ();
+    adj = Array.init (max n 1) (fun _ -> Vec.create ~dummy:(-1) ());
+    deg = Array.make (max n 1) 0;
+  }
+
+let ensure_capacity g =
+  let cap = Array.length g.adj in
+  if g.n > cap then begin
+    let ncap = max (2 * cap) g.n in
+    let adj = Array.init ncap (fun i -> if i < cap then g.adj.(i) else Vec.create ~dummy:(-1) ()) in
+    let deg = Array.make ncap 0 in
+    Array.blit g.deg 0 deg 0 cap;
+    g.adj <- adj;
+    g.deg <- deg
+  end
+
+let add_node g =
+  let id = g.n in
+  g.n <- g.n + 1;
+  ensure_capacity g;
+  id
+
+let n_nodes g = g.n
+let n_edges g = Vec.length g.edges
+
+let check_node g v name = if v < 0 || v >= g.n then invalid_arg name
+
+let add_edge g u v =
+  check_node g u "Multigraph.add_edge";
+  check_node g v "Multigraph.add_edge";
+  let id = Vec.length g.edges in
+  ignore (Vec.push g.edges { id; u; v });
+  ignore (Vec.push g.adj.(u) id);
+  if u <> v then ignore (Vec.push g.adj.(v) id);
+  g.deg.(u) <- g.deg.(u) + 1;
+  g.deg.(v) <- g.deg.(v) + 1;
+  id
+
+let edge g e =
+  if e < 0 || e >= n_edges g then invalid_arg "Multigraph.edge";
+  Vec.get g.edges e
+
+let endpoints g e =
+  let { u; v; _ } = edge g e in
+  (u, v)
+
+let is_self_loop g e =
+  let { u; v; _ } = edge g e in
+  u = v
+
+let other_endpoint g e w =
+  let { u; v; _ } = edge g e in
+  if w = u then v
+  else if w = v then u
+  else invalid_arg "Multigraph.other_endpoint: not an endpoint"
+
+let degree g v =
+  check_node g v "Multigraph.degree";
+  g.deg.(v)
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    if g.deg.(v) > !best then best := g.deg.(v)
+  done;
+  !best
+
+let incident g v =
+  check_node g v "Multigraph.incident";
+  Vec.to_list g.adj.(v)
+
+let iter_incident g v f =
+  check_node g v "Multigraph.iter_incident";
+  Vec.iter f g.adj.(v)
+
+let multiplicity g u v =
+  check_node g u "Multigraph.multiplicity";
+  check_node g v "Multigraph.multiplicity";
+  let count = ref 0 in
+  iter_incident g u (fun e ->
+      let { u = a; v = b; _ } = edge g e in
+      if (a = u && b = v) || (a = v && b = u) then incr count);
+  (* a self-loop at u=v is listed once in adj and matched once above *)
+  !count
+
+let iter_edges g f = Vec.iter f g.edges
+let fold_edges f g acc = Vec.fold (fun acc e -> f e acc) acc g.edges
+let edges g = Vec.to_list g.edges
+
+let max_multiplicity g =
+  (* group edges by normalized endpoint pair *)
+  let tbl = Hashtbl.create (max 16 (n_edges g)) in
+  let best = ref 0 in
+  iter_edges g (fun { u; v; _ } ->
+      let key = if u <= v then (u, v) else (v, u) in
+      let c = (try Hashtbl.find tbl key with Not_found -> 0) + 1 in
+      Hashtbl.replace tbl key c;
+      if c > !best then best := c);
+  !best
+
+let sub g keep =
+  let h = create ~n:g.n () in
+  let mapping = Vec.create ~dummy:(-1) () in
+  iter_edges g (fun { id; u; v } ->
+      if keep id then begin
+        ignore (add_edge h u v);
+        ignore (Vec.push mapping id)
+      end);
+  (h, Vec.to_array mapping)
+
+let copy g =
+  {
+    n = g.n;
+    edges = Vec.copy g.edges;
+    adj = Array.map Vec.copy g.adj;
+    deg = Array.copy g.deg;
+  }
+
+let is_simple g =
+  let tbl = Hashtbl.create (max 16 (n_edges g)) in
+  let ok = ref true in
+  iter_edges g (fun { u; v; _ } ->
+      if u = v then ok := false
+      else begin
+        let key = if u <= v then (u, v) else (v, u) in
+        if Hashtbl.mem tbl key then ok := false else Hashtbl.add tbl key ()
+      end);
+  !ok
+
+let handshake_ok g =
+  let total = ref 0 in
+  for v = 0 to g.n - 1 do
+    total := !total + g.deg.(v)
+  done;
+  !total = 2 * n_edges g
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph %d nodes %d edges@," (n_nodes g) (n_edges g);
+  iter_edges g (fun { id; u; v } -> Format.fprintf ppf "  e%d: %d -- %d@," id u v);
+  Format.fprintf ppf "@]"

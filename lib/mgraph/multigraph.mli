@@ -1,0 +1,85 @@
+(** Mutable multigraphs with edge identity.
+
+    Nodes are dense integers [0 .. n-1]; edges are dense integers
+    [0 .. m-1] and keep their identity (two parallel edges are distinct
+    values).  Self-loops are allowed and contribute 2 to the degree of
+    their endpoint, following the usual multigraph convention — this is
+    what the Euler-circuit construction of the paper (Section IV)
+    relies on.
+
+    The structure is append-only: nodes and edges can be added but not
+    removed.  Algorithms that need deletion work on a [mask] of live
+    edges instead (see {!sub}). *)
+
+type t
+
+type edge = {
+  id : int;
+  u : int;  (** source endpoint (tail for directed interpretations) *)
+  v : int;  (** destination endpoint *)
+}
+
+(** [create ~n ()] is a graph with [n] nodes and no edges. *)
+val create : ?n:int -> unit -> t
+
+(** Adds a fresh node and returns its id. *)
+val add_node : t -> int
+
+(** [add_edge g u v] adds an edge and returns its id.
+    @raise Invalid_argument if [u] or [v] is not a node. *)
+val add_edge : t -> int -> int -> int
+
+val n_nodes : t -> int
+val n_edges : t -> int
+
+(** [edge g e] is the descriptor of edge [e]. *)
+val edge : t -> int -> edge
+
+val endpoints : t -> int -> int * int
+val is_self_loop : t -> int -> bool
+
+(** [other_endpoint g e w] is the endpoint of [e] different from [w]
+    (or [w] itself for a self-loop).
+    @raise Invalid_argument if [w] is not an endpoint of [e]. *)
+val other_endpoint : t -> int -> int -> int
+
+(** Degree of a node; a self-loop counts twice. *)
+val degree : t -> int -> int
+
+val max_degree : t -> int
+
+(** Edge ids incident to a node, most recently added first.  A
+    self-loop appears once in this list (but counts 2 in {!degree}). *)
+val incident : t -> int -> int list
+
+val iter_incident : t -> int -> (int -> unit) -> unit
+
+(** [multiplicity g u v] is the number of parallel edges between [u]
+    and [v] (direction-insensitive). *)
+val multiplicity : t -> int -> int -> int
+
+(** Maximum multiplicity over all node pairs, 0 for an edgeless graph.
+    Self-loops are counted as multiplicity of the pair [(v, v)]. *)
+val max_multiplicity : t -> int
+
+val iter_edges : t -> (edge -> unit) -> unit
+val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
+val edges : t -> edge list
+
+(** [sub g keep] is a fresh graph with the same node set and only the
+    edges [e] with [keep e.id = true].  Edge ids are {e renumbered};
+    the returned array maps new edge ids to old ones. *)
+val sub : t -> (int -> bool) -> t * int array
+
+(** Structural copy (same ids). *)
+val copy : t -> t
+
+(** True if no two edges share both endpoints and there is no
+    self-loop — i.e. the graph is simple. *)
+val is_simple : t -> bool
+
+(** Total degree equals twice the number of edges (handshake lemma);
+    exposed for tests. *)
+val handshake_ok : t -> bool
+
+val pp : Format.formatter -> t -> unit

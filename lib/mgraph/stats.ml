@@ -1,0 +1,63 @@
+let check xs = if xs = [] then invalid_arg "Stats: empty sample"
+
+let mean xs =
+  check xs;
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  check xs;
+  match xs with
+  | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let ss =
+        List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+      in
+      sqrt (ss /. float_of_int (List.length xs - 1))
+
+let minimum xs =
+  check xs;
+  List.fold_left min infinity xs
+
+let maximum xs =
+  check xs;
+  List.fold_left max neg_infinity xs
+
+let percentile p xs =
+  check xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile";
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  (* nearest-rank: smallest index i with 100 * i / n >= p *)
+  let rank =
+    int_of_float (ceil (p /. 100.0 *. float_of_int n)) |> max 1 |> min n
+  in
+  List.nth sorted (rank - 1)
+
+let median xs = percentile 50.0 xs
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+let summarize xs =
+  check xs;
+  {
+    n = List.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = minimum xs;
+    p50 = median xs;
+    p95 = percentile 95.0 xs;
+    max = maximum xs;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.2f±%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f"
+    s.n s.mean s.stddev s.min s.p50 s.p95 s.max

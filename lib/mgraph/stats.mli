@@ -1,0 +1,30 @@
+(** Small descriptive-statistics helpers for experiment reporting.
+
+    Used by the benchmark harness to report multi-seed experiments
+    with spread, and by the simulator's summaries.  All functions
+    raise [Invalid_argument] on empty input. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+(** Sample standard deviation (n-1 denominator); 0 for singletons. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+(** [percentile p xs] with [p] in [0, 100]: nearest-rank method. *)
+val percentile : float -> float list -> float
+
+val median : float list -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+val pp_summary : Format.formatter -> summary -> unit

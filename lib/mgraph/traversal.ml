@@ -1,0 +1,72 @@
+let bfs g src =
+  let n = Multigraph.n_nodes g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    Multigraph.iter_incident g u (fun e ->
+        let w = Multigraph.other_endpoint g e u in
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(u) + 1;
+          Queue.add w queue
+        end)
+  done;
+  dist
+
+let dfs_order g src =
+  let n = Multigraph.n_nodes g in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let stack = ref [ src ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | u :: rest ->
+        stack := rest;
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          order := u :: !order;
+          Multigraph.iter_incident g u (fun e ->
+              let w = Multigraph.other_endpoint g e u in
+              if not seen.(w) then stack := w :: !stack)
+        end
+  done;
+  List.rev !order
+
+let components g =
+  let n = Multigraph.n_nodes g in
+  let comp = Array.make n (-1) in
+  let k = ref 0 in
+  for src = 0 to n - 1 do
+    if comp.(src) < 0 then begin
+      let id = !k in
+      incr k;
+      let queue = Queue.create () in
+      comp.(src) <- id;
+      Queue.add src queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.take queue in
+        Multigraph.iter_incident g u (fun e ->
+            let w = Multigraph.other_endpoint g e u in
+            if comp.(w) < 0 then begin
+              comp.(w) <- id;
+              Queue.add w queue
+            end)
+      done
+    end
+  done;
+  (comp, !k)
+
+let n_components g = snd (components g)
+
+let is_connected g = Multigraph.n_nodes g <= 1 || n_components g = 1
+
+let component_members g =
+  let comp, k = components g in
+  let members = Array.make k [] in
+  for v = Multigraph.n_nodes g - 1 downto 0 do
+    members.(comp.(v)) <- v :: members.(comp.(v))
+  done;
+  members

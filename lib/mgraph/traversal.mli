@@ -1,0 +1,22 @@
+(** Graph traversals and connectivity over {!Multigraph.t}.
+
+    All functions treat edges as undirected and ignore edge direction. *)
+
+(** [bfs g src] is an array [dist] with [dist.(v)] the unweighted hop
+    distance from [src] to [v], or [-1] if unreachable. *)
+val bfs : Multigraph.t -> int -> int array
+
+(** [dfs_order g src] is the list of nodes reachable from [src] in
+    depth-first preorder. *)
+val dfs_order : Multigraph.t -> int -> int list
+
+(** [components g] is [(comp, k)] where [comp.(v)] is the component
+    index of node [v] (in [0 .. k-1]) and [k] is the number of
+    connected components.  Isolated nodes form their own components. *)
+val components : Multigraph.t -> int array * int
+
+val n_components : Multigraph.t -> int
+val is_connected : Multigraph.t -> bool
+
+(** Nodes of each component, indexed by component id. *)
+val component_members : Multigraph.t -> int list array

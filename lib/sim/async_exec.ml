@@ -1,0 +1,126 @@
+type policy =
+  | Fifo
+  | Ordered of int array
+  | By_schedule of Migration.Schedule.t
+
+type event = { item : int; start : float; finish : float }
+
+type report = {
+  makespan : float;
+  events : event array;
+  mean_active : float;
+  max_active : int;
+}
+
+type active = { edge : int; mutable remaining : float; started : float }
+
+let priorities_of_policy policy m =
+  match policy with
+  | Fifo -> Array.init m Fun.id
+  | Ordered p ->
+      if Array.length p <> m then
+        invalid_arg "Async_exec: priority array must cover every edge";
+      Array.copy p
+  | By_schedule sched ->
+      let p = Array.make m max_int in
+      Array.iteri
+        (fun round edges -> List.iter (fun e -> p.(e) <- round) edges)
+        (Migration.Schedule.rounds sched);
+      Array.iteri
+        (fun e pr ->
+          if pr = max_int then
+            invalid_arg
+              (Printf.sprintf "Async_exec: edge %d missing from schedule" e))
+        p;
+      p
+
+let run ~disks ?sizes ?(network = Network.full_bisection)
+    (job : Cluster.job) policy =
+  let m = Array.length job.Cluster.items in
+  let n = Array.length disks in
+  let size_of e =
+    match sizes with
+    | None -> 1.0
+    | Some a ->
+        if Array.length a <> m then
+          invalid_arg "Async_exec: size array must cover every edge";
+        if a.(e) <= 0.0 then invalid_arg "Async_exec: sizes must be positive";
+        a.(e)
+  in
+  let prio = priorities_of_policy policy m in
+  (* pending edges, cheapest priority first (ties: edge id) *)
+  let pending =
+    let order = Array.init m Fun.id in
+    Array.sort (fun a b -> compare (prio.(a), a) (prio.(b), b)) order;
+    ref (Array.to_list order)
+  in
+  let streams = Array.make n 0 in
+  let active : active list ref = ref [] in
+  let events = Array.make m { item = -1; start = 0.0; finish = 0.0 } in
+  let now = ref 0.0 in
+  let active_time_integral = ref 0.0 in
+  let max_active = ref 0 in
+  let src e = job.Cluster.sources.(e) and dst e = job.Cluster.targets.(e) in
+  let admit () =
+    (* work-conserving greedy in priority order *)
+    let blocked = ref [] in
+    List.iter
+      (fun e ->
+        let u = src e and v = dst e in
+        if
+          streams.(u) < disks.(u).Disk.cap
+          && streams.(v) < disks.(v).Disk.cap
+        then begin
+          streams.(u) <- streams.(u) + 1;
+          streams.(v) <- streams.(v) + 1;
+          active := { edge = e; remaining = size_of e; started = !now } :: !active
+        end
+        else blocked := e :: !blocked)
+      !pending;
+    pending := List.rev !blocked
+  in
+  let rate ~active a =
+    let u = src a.edge and v = dst a.edge in
+    Network.throttle network ~active
+    *. min
+         (Disk.stream_rate disks.(u) ~streams:streams.(u))
+         (Disk.stream_rate disks.(v) ~streams:streams.(v))
+  in
+  admit ();
+  while !active <> [] do
+    let count = List.length !active in
+    if count > !max_active then max_active := count;
+    (* time until the next completion at current rates *)
+    let dt =
+      List.fold_left
+        (fun acc a -> min acc (a.remaining /. rate ~active:count a))
+        infinity !active
+    in
+    assert (dt > 0.0 && dt < infinity);
+    List.iter
+      (fun a -> a.remaining <- a.remaining -. (rate ~active:count a *. dt))
+      !active;
+    active_time_integral := !active_time_integral +. (float_of_int count *. dt);
+    now := !now +. dt;
+    let eps = 1e-9 in
+    let finished, running =
+      List.partition (fun a -> a.remaining <= eps) !active
+    in
+    assert (finished <> []);
+    List.iter
+      (fun a ->
+        streams.(src a.edge) <- streams.(src a.edge) - 1;
+        streams.(dst a.edge) <- streams.(dst a.edge) - 1;
+        events.(a.edge) <- { item = a.edge; start = a.started; finish = !now })
+      finished;
+    active := running;
+    admit ()
+  done;
+  assert (!pending = []);
+  {
+    makespan = !now;
+    events;
+    mean_active =
+      (if !now > 0.0 then !active_time_integral /. !now else 0.0);
+    max_active = !max_active;
+  }

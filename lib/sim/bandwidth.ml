@@ -1,0 +1,59 @@
+let round_duration_sized ~disks ?(network = Network.full_bisection)
+    ~transfers () =
+  match transfers with
+  | [] -> 0.0
+  | _ ->
+      let throttle =
+        Network.throttle network ~active:(List.length transfers)
+      in
+      let n = Array.length disks in
+      let streams = Array.make n 0 in
+      List.iter
+        (fun (u, v, size) ->
+          if u < 0 || u >= n || v < 0 || v >= n then
+            invalid_arg "Bandwidth.round_duration: disk out of range";
+          if size <= 0.0 then
+            invalid_arg "Bandwidth.round_duration: sizes must be positive";
+          streams.(u) <- streams.(u) + 1;
+          streams.(v) <- streams.(v) + 1)
+        transfers;
+      List.fold_left
+        (fun acc (u, v, size) ->
+          let rate =
+            throttle
+            *. min
+                 (Disk.stream_rate disks.(u) ~streams:streams.(u))
+                 (Disk.stream_rate disks.(v) ~streams:streams.(v))
+          in
+          max acc (size /. rate))
+        0.0 transfers
+
+let round_duration ~disks ?network ~transfers () =
+  round_duration_sized ~disks ?network
+    ~transfers:(List.map (fun (u, v) -> (u, v, 1.0)) transfers)
+    ()
+
+let size_of sizes e =
+  match sizes with
+  | None -> 1.0
+  | Some a ->
+      if e < 0 || e >= Array.length a then
+        invalid_arg "Bandwidth: size array does not cover every edge";
+      a.(e)
+
+let transfers_of_round ?sizes (job : Cluster.job) edges =
+  List.map
+    (fun e ->
+      (job.Cluster.sources.(e), job.Cluster.targets.(e), size_of sizes e))
+    edges
+
+let round_durations ~disks ?sizes ?network job sched =
+  Array.map
+    (fun edges ->
+      round_duration_sized ~disks ?network
+        ~transfers:(transfers_of_round ?sizes job edges)
+        ())
+    (Migration.Schedule.rounds sched)
+
+let schedule_duration ~disks ?sizes ?network job sched =
+  Array.fold_left ( +. ) 0.0 (round_durations ~disks ?sizes ?network job sched)

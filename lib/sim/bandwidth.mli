@@ -1,0 +1,43 @@
+(** The bandwidth-splitting cost model.
+
+    Within a round every disk divides its bandwidth evenly among its
+    active streams; a transfer's rate is the minimum of its two
+    endpoints' per-stream allocations; the round lasts until its
+    slowest transfer finishes (rounds are barriers, as in the paper's
+    model where a round is one "color class").
+
+    This reproduces the accounting of the paper's Figure 2: three
+    disks, [M] parallel items per pair, unit bandwidth.  With
+    [c_v = 1] a round is one matching edge (rate 1, duration 1) and
+    [3M] rounds are needed; with [c_v = 2] each round moves one full
+    triangle at rate 1/2 (duration 2) and [M] rounds suffice — [2M]
+    total time versus [3M]. *)
+
+(** [round_duration ~disks ?network ~transfers ()] where each transfer
+    is [(src, dst)] with unit item size.  Zero transfers take zero
+    time.  [network] (default {!Network.full_bisection}, the paper's
+    assumption) additionally throttles every stream when the core is
+    oversubscribed.
+    @raise Invalid_argument if a disk index is out of range. *)
+val round_duration :
+  disks:Disk.t array -> ?network:Network.t -> transfers:(int * int) list ->
+  unit -> float
+
+(** Like {!round_duration} with an explicit size per transfer
+    ([(src, dst, size)]); the paper's unit-size assumption is the
+    special case [size = 1.0].
+    @raise Invalid_argument on a non-positive size. *)
+val round_duration_sized :
+  disks:Disk.t array -> ?network:Network.t ->
+  transfers:(int * int * float) list -> unit -> float
+
+(** Total duration of a schedule's rounds for a given job.  [sizes]
+    maps edge ids to item sizes (default: all 1.0). *)
+val schedule_duration :
+  disks:Disk.t array -> ?sizes:float array -> ?network:Network.t ->
+  Cluster.job -> Migration.Schedule.t -> float
+
+(** Per-round durations, same convention. *)
+val round_durations :
+  disks:Disk.t array -> ?sizes:float array -> ?network:Network.t ->
+  Cluster.job -> Migration.Schedule.t -> float array

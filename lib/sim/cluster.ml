@@ -1,0 +1,57 @@
+module Multigraph = Mgraph.Multigraph
+
+type t = { disks : Disk.t array; placement : Placement.t }
+
+type job = {
+  instance : Migration.Instance.t;
+  items : int array;
+  sources : int array;
+  targets : int array;
+}
+
+let create ~disks ~placement =
+  Array.iteri
+    (fun i (d : Disk.t) ->
+      if d.Disk.id <> i then
+        invalid_arg "Cluster.create: disk ids must be 0..n-1 in order")
+    disks;
+  let n = Array.length disks in
+  Array.iter
+    (fun d ->
+      if d < 0 || d >= n then
+        invalid_arg "Cluster.create: placement references unknown disk")
+    (Placement.to_array placement);
+  { disks; placement = Placement.copy placement }
+
+let disks t = t.disks
+
+let disk t i =
+  if i < 0 || i >= Array.length t.disks then invalid_arg "Cluster.disk";
+  t.disks.(i)
+
+let n_disks t = Array.length t.disks
+let placement t = t.placement
+let load t = Placement.load t.placement ~n_disks:(n_disks t)
+
+let plan_reconfiguration t ~target =
+  let moves = Placement.diff t.placement target in
+  let g = Multigraph.create ~n:(n_disks t) () in
+  let items = Array.make (List.length moves) (-1) in
+  let sources = Array.make (List.length moves) (-1) in
+  let targets = Array.make (List.length moves) (-1) in
+  List.iter
+    (fun (item, src, dst) ->
+      let e = Multigraph.add_edge g src dst in
+      items.(e) <- item;
+      sources.(e) <- src;
+      targets.(e) <- dst)
+    moves;
+  let caps = Array.map (fun (d : Disk.t) -> d.Disk.cap) t.disks in
+  { instance = Migration.Instance.create g ~caps; items; sources; targets }
+
+let apply_transfer t job edge =
+  if edge < 0 || edge >= Array.length job.items then
+    invalid_arg "Cluster.apply_transfer";
+  Placement.move t.placement ~item:job.items.(edge) ~target:job.targets.(edge)
+
+let reached t ~target = Placement.equal t.placement target

@@ -1,0 +1,40 @@
+(** Storage clusters: a set of disks plus the current placement.
+
+    The bridge between the simulator world and the scheduling world:
+    {!plan_reconfiguration} turns "move the cluster to this target
+    placement" into a heterogeneous migration {!Migration.Instance.t},
+    remembering which item each transfer-graph edge stands for. *)
+
+type t
+
+(** A migration job: the scheduling instance plus the edge → item map
+    ([items.(edge_id)] is the item that edge moves). *)
+type job = {
+  instance : Migration.Instance.t;
+  items : int array;
+  sources : int array;  (** [sources.(edge_id)]: disk the item leaves *)
+  targets : int array;  (** [targets.(edge_id)]: disk the item joins *)
+}
+
+(** @raise Invalid_argument if a placement mentions an unknown disk or
+    disk ids are not [0 .. n-1] in order. *)
+val create : disks:Disk.t array -> placement:Placement.t -> t
+
+val disks : t -> Disk.t array
+val disk : t -> int -> Disk.t
+val n_disks : t -> int
+val placement : t -> Placement.t
+
+(** Per-disk item counts. *)
+val load : t -> int array
+
+(** [plan_reconfiguration t ~target] builds the transfer multigraph
+    from the placement diff; transfer constraints come from the disks'
+    [cap] fields. *)
+val plan_reconfiguration : t -> target:Placement.t -> job
+
+(** [apply_transfer t job edge] moves one item to its target disk. *)
+val apply_transfer : t -> job -> int -> unit
+
+(** True when the cluster's placement equals [target]. *)
+val reached : t -> target:Placement.t -> bool

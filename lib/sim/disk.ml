@@ -1,0 +1,13 @@
+type t = { id : int; bandwidth : float; cap : int }
+
+let make ~id ?(bandwidth = 1.0) ~cap () =
+  if bandwidth <= 0.0 then invalid_arg "Disk.make: bandwidth must be positive";
+  if cap < 1 then invalid_arg "Disk.make: capacity must be >= 1";
+  { id; bandwidth; cap }
+
+let stream_rate t ~streams =
+  if streams < 1 then invalid_arg "Disk.stream_rate";
+  t.bandwidth /. float_of_int streams
+
+let pp ppf t =
+  Format.fprintf ppf "disk %d (bw %.2f, c=%d)" t.id t.bandwidth t.cap

@@ -1,0 +1,22 @@
+(** Storage devices.
+
+    A disk has a transfer constraint [cap] (the paper's [c_v]: how many
+    simultaneous migration streams it sustains) and a [bandwidth] in
+    items per time unit when running a single stream.  Running [k]
+    streams splits the bandwidth [k] ways — the cost model behind the
+    paper's Figure 2 example, where three disks with [c_v = 2] finish a
+    [3M]-item triangle in [2M] time units instead of [3M]. *)
+
+type t = {
+  id : int;
+  bandwidth : float;  (** items per time unit at one stream *)
+  cap : int;          (** transfer constraint [c_v >= 1] *)
+}
+
+(** @raise Invalid_argument on non-positive bandwidth or capacity. *)
+val make : id:int -> ?bandwidth:float -> cap:int -> unit -> t
+
+(** Bandwidth available per stream when [streams] run at once. *)
+val stream_rate : t -> streams:int -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+type t = Full_bisection | Oversubscribed of float
+
+let full_bisection = Full_bisection
+
+let oversubscribed ~core_streams =
+  if core_streams <= 0.0 then
+    invalid_arg "Network.oversubscribed: capacity must be positive";
+  Oversubscribed core_streams
+
+let throttle t ~active =
+  if active <= 0 then 1.0
+  else
+    match t with
+    | Full_bisection -> 1.0
+    | Oversubscribed core -> Float.min 1.0 (core /. float_of_int active)
+
+let pp ppf = function
+  | Full_bisection -> Format.pp_print_string ppf "full bisection"
+  | Oversubscribed core -> Format.fprintf ppf "core limit %.1f streams" core

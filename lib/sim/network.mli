@@ -1,0 +1,34 @@
+(** Network fabric models.
+
+    The paper assumes "a very fast network connection dedicated to
+    support a storage system" where "any two disks can send data to
+    each other directly" (Section II) — i.e. a full-bisection fabric
+    whose core never throttles the disks.  This module makes that
+    assumption a first-class, falsifiable parameter:
+
+    - {!full_bisection} — the paper's model: the core sustains any
+      number of concurrent streams at full per-stream rate;
+    - {!oversubscribed} — the core saturates at [core_streams]
+      concurrent full-rate streams; beyond that, every active stream's
+      rate scales by [core_streams / active].
+
+    Benchmark E20 sweeps the core capacity to show where the paper's
+    speedups survive oversubscription and where migration becomes
+    core-bound (at which point extra per-disk parallelism buys
+    nothing). *)
+
+type t
+
+(** The paper's assumption: no core limit. *)
+val full_bisection : t
+
+(** [oversubscribed ~core_streams] — fabric saturating at
+    [core_streams] concurrent full-rate streams.
+    @raise Invalid_argument if [core_streams <= 0]. *)
+val oversubscribed : core_streams:float -> t
+
+(** Rate multiplier when [active] streams are in flight: [1.0] under
+    full bisection, [min 1 (core/active)] otherwise. *)
+val throttle : t -> active:int -> float
+
+val pp : Format.formatter -> t -> unit

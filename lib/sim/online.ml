@@ -1,0 +1,142 @@
+type request = { at_round : int; moves : (int * int) list }
+
+type report = {
+  rounds : int;
+  replans : int;
+  items_moved : int;
+  latencies : int array;
+}
+
+(* A request is satisfied once each of its moves is either in effect or
+   superseded by a newer request for the same item. *)
+type tracked = {
+  idx : int;
+  arrived : int;
+  mutable absorbed : bool;  (* false until the request actually arrives *)
+  mutable outstanding : (int * int) list;  (* (item, disk) still owed *)
+  mutable completed_at : int option;
+}
+
+let run cluster ~requests ~plan =
+  let n_items = Placement.n_items (Cluster.placement cluster) in
+  let n_disks = Cluster.n_disks cluster in
+  let rec check_sorted last = function
+    | [] -> ()
+    | r :: rest ->
+        if r.at_round < last then
+          invalid_arg "Online.run: requests must be sorted by at_round";
+        List.iter
+          (fun (item, disk) ->
+            if item < 0 || item >= n_items then invalid_arg "Online.run: bad item";
+            if disk < 0 || disk >= n_disks then invalid_arg "Online.run: bad disk")
+          r.moves;
+        check_sorted r.at_round rest
+  in
+  check_sorted 0 requests;
+  let desired = Placement.copy (Cluster.placement cluster) in
+  (* who owns each item's latest retarget, for supersession *)
+  let owner = Array.make n_items (-1) in
+  let tracked =
+    List.mapi
+      (fun idx r ->
+        {
+          idx;
+          arrived = r.at_round;
+          absorbed = false;
+          outstanding = r.moves;
+          completed_at = None;
+        })
+      requests
+  in
+  let incoming = ref (List.combine requests tracked) in
+  let replans = ref 0 and items_moved = ref 0 in
+  let round = ref 0 in
+  let active : Migration.Schedule.t option ref = ref None in
+  let active_job : Cluster.job option ref = ref None in
+  let active_pos = ref 0 in
+  let update_tracking () =
+    List.iter
+      (fun t ->
+        if t.absorbed && t.completed_at = None then begin
+          t.outstanding <-
+            List.filter
+              (fun (item, disk) ->
+                owner.(item) = t.idx
+                && Placement.disk_of (Cluster.placement cluster) item <> disk)
+              t.outstanding;
+          if t.outstanding = [] then t.completed_at <- Some !round
+        end)
+      tracked
+  in
+  let finished () =
+    !incoming = []
+    && Placement.equal (Cluster.placement cluster) desired
+  in
+  while not (finished ()) do
+    (* absorb arrivals due before this round *)
+    let arrived, later =
+      List.partition (fun (r, _) -> r.at_round <= !round) !incoming
+    in
+    if arrived <> [] then begin
+      List.iter
+        (fun (r, (t : tracked)) ->
+          t.absorbed <- true;
+          List.iter
+            (fun (item, disk) ->
+              owner.(item) <- t.idx;
+              Placement.move desired ~item ~target:disk)
+            r.moves)
+        arrived;
+      incoming := later;
+      (* outstanding work changed: replan from the current state *)
+      active := None
+    end;
+    (match !active with
+    | Some _ -> ()
+    | None ->
+        if not (Placement.equal (Cluster.placement cluster) desired) then begin
+          incr replans;
+          let job = Cluster.plan_reconfiguration cluster ~target:desired in
+          let sched = plan job.Cluster.instance in
+          active := Some sched;
+          active_job := Some job;
+          active_pos := 0
+        end);
+    (match (!active, !active_job) with
+    | Some sched, Some job ->
+        let rounds = Migration.Schedule.rounds sched in
+        if !active_pos < Array.length rounds then begin
+          List.iter
+            (fun e ->
+              Cluster.apply_transfer cluster job e;
+              incr items_moved)
+            rounds.(!active_pos);
+          incr active_pos;
+          if !active_pos >= Array.length rounds then active := None
+        end
+        else active := None
+    | _ ->
+        (* idle round while waiting for the next request *)
+        ());
+    incr round;
+    update_tracking ();
+    (* safety: there is always a next arrival or active work *)
+    if !active = None && !incoming <> []
+       && Placement.equal (Cluster.placement cluster) desired
+    then begin
+      (* fast-forward idle time to the next arrival *)
+      match !incoming with
+      | (r, _) :: _ -> if r.at_round > !round then round := r.at_round
+      | [] -> ()
+    end
+  done;
+  update_tracking ();
+  let latencies =
+    tracked
+    |> List.map (fun t ->
+           match t.completed_at with
+           | Some c -> max 0 (c - t.arrived)
+           | None -> assert false)
+    |> Array.of_list
+  in
+  { rounds = !round; replans = !replans; items_moved = !items_moved; latencies }

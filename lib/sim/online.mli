@@ -1,0 +1,36 @@
+(** Online migration: reconfiguration requests arriving mid-flight.
+
+    The paper's Section I motivates migration with layouts that "need
+    to be changed over time according to changes of user demand
+    patterns" — in production those changes do not wait for the
+    previous migration to finish.  This driver executes a migration
+    round by round and accepts new retargeting requests between
+    rounds; each arrival updates the desired placement and triggers a
+    replan of everything still outstanding (the schedules themselves
+    come from any planner, so the paper's algorithms are reused
+    unchanged).
+
+    Reported per request: how many rounds after its arrival the
+    cluster fully reflected it (superseded items count as satisfied —
+    a newer request took them over). *)
+
+type request = {
+  at_round : int;             (** arrives before this round executes *)
+  moves : (int * int) list;   (** (item, new target disk) *)
+}
+
+type report = {
+  rounds : int;               (** total rounds executed *)
+  replans : int;
+  items_moved : int;          (** transfers performed (incl. superseded work) *)
+  latencies : int array;      (** per request: completion round - arrival *)
+}
+
+(** [run cluster ~requests ~plan] mutates [cluster] to the final
+    desired placement.  Requests must be sorted by [at_round].
+    @raise Invalid_argument on unsorted requests or bad item/disk ids. *)
+val run :
+  Cluster.t ->
+  requests:request list ->
+  plan:(Migration.Instance.t -> Migration.Schedule.t) ->
+  report

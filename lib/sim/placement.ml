@@ -1,0 +1,45 @@
+type t = int array
+
+let create ~n_items f =
+  if n_items < 0 then invalid_arg "Placement.create";
+  Array.init n_items f
+
+let of_array a = Array.copy a
+let to_array t = Array.copy t
+let n_items t = Array.length t
+
+let disk_of t item =
+  if item < 0 || item >= Array.length t then invalid_arg "Placement.disk_of";
+  t.(item)
+
+let move t ~item ~target =
+  if item < 0 || item >= Array.length t then invalid_arg "Placement.move";
+  t.(item) <- target
+
+let items_on t ~disk =
+  let acc = ref [] in
+  for i = Array.length t - 1 downto 0 do
+    if t.(i) = disk then acc := i :: !acc
+  done;
+  !acc
+
+let load t ~n_disks =
+  let counts = Array.make n_disks 0 in
+  Array.iter
+    (fun d ->
+      if d < 0 || d >= n_disks then invalid_arg "Placement.load: disk out of range";
+      counts.(d) <- counts.(d) + 1)
+    t;
+  counts
+
+let diff a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Placement.diff: different item counts";
+  let acc = ref [] in
+  for i = Array.length a - 1 downto 0 do
+    if a.(i) <> b.(i) then acc := (i, a.(i), b.(i)) :: !acc
+  done;
+  !acc
+
+let equal a b = a = b
+let copy = Array.copy

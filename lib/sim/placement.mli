@@ -1,0 +1,33 @@
+(** Item-to-disk placements.
+
+    A placement maps every data item to the disk currently holding it.
+    Migration moves a cluster from one placement to another; the
+    transfer graph is exactly the item-wise difference of two
+    placements. *)
+
+type t
+
+(** [create n_items f] places item [i] on disk [f i]. *)
+val create : n_items:int -> (int -> int) -> t
+
+val of_array : int array -> t
+val to_array : t -> int array
+val n_items : t -> int
+val disk_of : t -> int -> int
+
+(** [move p ~item ~target] relocates one item (in place). *)
+val move : t -> item:int -> target:int -> unit
+
+(** Items currently on [disk], ascending. *)
+val items_on : t -> disk:int -> int list
+
+(** Number of items per disk, for [n_disks] disks. *)
+val load : t -> n_disks:int -> int array
+
+(** [diff a b] is the list of [(item, src, dst)] moves taking [a] to
+    [b] (items placed identically are skipped).
+    @raise Invalid_argument if sizes differ. *)
+val diff : t -> t -> (int * int * int) list
+
+val equal : t -> t -> bool
+val copy : t -> t

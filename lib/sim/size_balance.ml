@@ -1,0 +1,75 @@
+type stats = {
+  duration_before : float;
+  duration_after : float;
+  swaps : int;
+}
+
+let optimize ~disks ~sizes (job : Cluster.job) sched =
+  let rounds = Array.map Array.of_list (Migration.Schedule.rounds sched) in
+  let to_sched () =
+    Migration.Schedule.of_rounds (Array.map Array.to_list rounds)
+  in
+  let duration_of r =
+    Bandwidth.round_duration_sized ~disks
+      ~transfers:
+        (Array.to_list rounds.(r)
+        |> List.map (fun e ->
+               (job.Cluster.sources.(e), job.Cluster.targets.(e), sizes.(e))))
+      ()
+  in
+  let durations = Array.init (Array.length rounds) duration_of in
+  let duration_before = Array.fold_left ( +. ) 0.0 durations in
+  (* index every edge's (round, slot) and group by disk pair *)
+  let groups = Hashtbl.create 64 in
+  Array.iteri
+    (fun r edges ->
+      Array.iteri
+        (fun slot e ->
+          let u = job.Cluster.sources.(e) and v = job.Cluster.targets.(e) in
+          let key = if u <= v then (u, v) else (v, u) in
+          Hashtbl.replace groups key
+            ((r, slot) :: (try Hashtbl.find groups key with Not_found -> [])))
+        edges)
+    rounds;
+  let swaps = ref 0 in
+  let improved = ref true in
+  let passes = ref 0 in
+  while !improved && !passes < 8 do
+    improved := false;
+    incr passes;
+    Hashtbl.iter
+      (fun _ slots ->
+        match slots with
+        | [] | [ _ ] -> ()
+        | slots ->
+            let arr = Array.of_list slots in
+            let k = Array.length arr in
+            for i = 0 to k - 1 do
+              for j = i + 1 to k - 1 do
+                let ri, si = arr.(i) and rj, sj = arr.(j) in
+                if ri <> rj then begin
+                  let before = durations.(ri) +. durations.(rj) in
+                  (* swap the two items *)
+                  let e = rounds.(ri).(si) in
+                  rounds.(ri).(si) <- rounds.(rj).(sj);
+                  rounds.(rj).(sj) <- e;
+                  let di = duration_of ri and dj = duration_of rj in
+                  if di +. dj < before -. 1e-12 then begin
+                    durations.(ri) <- di;
+                    durations.(rj) <- dj;
+                    incr swaps;
+                    improved := true
+                  end
+                  else begin
+                    (* revert *)
+                    let e = rounds.(ri).(si) in
+                    rounds.(ri).(si) <- rounds.(rj).(sj);
+                    rounds.(rj).(sj) <- e
+                  end
+                end
+              done
+            done)
+      groups
+  done;
+  let duration_after = Array.fold_left ( +. ) 0.0 durations in
+  (to_sched (), { duration_before; duration_after; swaps = !swaps })

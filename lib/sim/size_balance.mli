@@ -1,0 +1,35 @@
+(** Size-aware round rebalancing.
+
+    The paper assumes unit-size items, under which all schedules with
+    the same round count cost the same wall-clock time.  With
+    non-uniform sizes a new degree of freedom appears: parallel items
+    (same source and target disks) are interchangeable between the
+    rounds that carry edges of that disk pair, and the choice changes
+    each round's duration (a round lasts until its largest transfer
+    finishes).
+
+    This optimizer hill-climbs over such swaps: exchanging two
+    same-pair items between two rounds preserves feasibility trivially
+    (identical endpoints), so only the two rounds' durations change.
+    Concentrating large items into the same rounds shortens the
+    schedule — spreading them means every round waits for a big one.
+
+    The round structure (and hence the paper's optimality/approximation
+    guarantees on the round count) is untouched; only the item-to-slot
+    assignment within parallel classes moves. *)
+
+type stats = {
+  duration_before : float;
+  duration_after : float;
+  swaps : int;
+}
+
+(** [optimize ~disks ~sizes job sched] — a schedule with the same
+    rounds structure and (weakly) smaller total duration under the
+    bandwidth-splitting model, plus what changed.  Deterministic. *)
+val optimize :
+  disks:Disk.t array ->
+  sizes:float array ->
+  Cluster.job ->
+  Migration.Schedule.t ->
+  Migration.Schedule.t * stats

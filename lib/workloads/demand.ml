@@ -1,0 +1,39 @@
+let zipf_weights ~n ~s =
+  if n <= 0 then invalid_arg "Demand.zipf_weights: n must be positive";
+  if s < 0.0 then invalid_arg "Demand.zipf_weights: s must be >= 0";
+  let raw = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  Array.map (fun w -> w /. total) raw
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+let demands rng ~n ~s =
+  let w = zipf_weights ~n ~s in
+  shuffle rng w;
+  w
+
+let sizes rng ~n ~alpha =
+  if alpha <= 0.0 then invalid_arg "Demand.sizes: alpha must be positive";
+  Array.init n (fun _ ->
+      let u = 1.0 -. Random.State.float rng 1.0 (* (0, 1] *) in
+      u ** (-1.0 /. alpha))
+
+let shift rng ~fraction d =
+  if fraction < 0.0 || fraction > 1.0 then invalid_arg "Demand.shift";
+  let n = Array.length d in
+  let d' = Array.copy d in
+  let k = int_of_float (ceil (fraction *. float_of_int n)) in
+  (* pick k random positions and permute their demands *)
+  let picked = Array.init n Fun.id in
+  shuffle rng picked;
+  let chosen = Array.sub picked 0 k in
+  let values = Array.map (fun i -> d'.(i)) chosen in
+  shuffle rng values;
+  Array.iteri (fun j i -> d'.(i) <- values.(j)) chosen;
+  d'

@@ -1,0 +1,26 @@
+(** Item popularity models.
+
+    Storage workloads are skewed: a few hot items draw most of the
+    traffic (the video-on-demand and search-cluster workloads the
+    paper's introduction cites).  Demands here follow a Zipf law with
+    exponent [s]; layouts are computed from demands, and demand {e
+    shifts} between two epochs are what force data migration. *)
+
+(** [zipf_weights ~n ~s] is the normalized popularity vector
+    [w_i ∝ 1/(i+1)^s], summing to 1.
+    @raise Invalid_argument if [n <= 0] or [s < 0]. *)
+val zipf_weights : n:int -> s:float -> float array
+
+(** [demands rng ~n ~s] is a Zipf popularity vector over items in a
+    {e random} rank order (so hot items land on random ids). *)
+val demands : Random.State.t -> n:int -> s:float -> float array
+
+(** [shift rng ~fraction d] re-ranks a random [fraction] of items —
+    the epoch-over-epoch popularity churn that triggers rebalancing. *)
+val shift : Random.State.t -> fraction:float -> float array -> float array
+
+(** [sizes rng ~n ~alpha] draws heavy-tailed item sizes (Pareto with
+    shape [alpha], scale 1): most items are near 1, a few are large —
+    the usual object-store profile.  All sizes are positive.
+    @raise Invalid_argument if [alpha <= 0]. *)
+val sizes : Random.State.t -> n:int -> alpha:float -> float array

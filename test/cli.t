@@ -1,0 +1,102 @@
+CLI end-to-end: generate an instance, inspect bounds, plan, validate.
+
+  $ alias migrate=../bin/migrate_cli.exe
+
+  $ migrate generate --kind fig1 --caps 2,1,1,2,1 --seed 1 > fig1.txt
+  $ cat fig1.txt
+  5 9
+  2 1 2 1 2
+  0 1
+  0 1
+  1 2
+  2 0
+  2 3
+  3 4
+  3 4
+  4 1
+  0 3
+  $ migrate bounds fig1.txt
+  disks:       5
+  items:       9
+  LB1:         4
+  LB2 (gamma): 3
+  lower bound: 4
+  $ migrate plan -q -a hetero fig1.txt
+  algorithm:   hetero
+  rounds:      4
+  lower bound: 4
+  utilization: 0.56
+  $ migrate compare fig1.txt
+  5 disks, 9 items, lower bound 4
+  
+  algorithm    rounds    vs LB  utilization
+  even-opt        n/a
+  hetero            4    1.00x         0.56
+  saia              4    1.00x         0.56
+  greedy            4    1.00x         0.56
+  $ migrate plan -q --save sched.txt fig1.txt
+  algorithm:   auto
+  rounds:      4
+  lower bound: 4
+  utilization: 0.56
+  saved to sched.txt
+  $ migrate check fig1.txt sched.txt
+  valid: 4 rounds, 9 items
+  $ migrate exact fig1.txt
+  optimal rounds: 4
+  schedule: 4 rounds
+    round 0: 5 3 2
+    round 1: 6 0
+    round 2: 8 7
+    round 3: 4 1
+  
+  $ migrate generate --disks 6 --items 12 --caps 2 --seed 7 > even.txt
+  $ migrate plan -q -a even-opt even.txt
+  algorithm:   even-opt
+  rounds:      4
+  lower bound: 4
+  utilization: 0.50
+
+Error handling:
+
+  $ migrate plan -a nope fig1.txt 2>&1 | head -2
+  migrate: option '-a': unknown algorithm "nope"
+           (auto|even-opt|hetero|saia|greedy|orbits)
+  $ echo "bad" | migrate bounds - 2>&1; echo "exit: $?"
+  error: not a valid instance: Instance.of_string: missing header
+  exit: 2
+
+Analysis:
+
+  $ migrate generate --kind fig1 --caps 2,1,1,2,1 --seed 1 | migrate analyze -
+  disks:            5 (1 components)
+  items:            9 (max multiplicity 2)
+  degrees:          n=5 mean=3.60±0.55 min=3.00 p50=4.00 p95=4.00 max=4.00
+  degree ratios:    n=5 mean=2.80±1.10 min=2.00 p50=2.00 p95=4.00 max=4.00
+  constraints:      c=1 x2, c=2 x3
+  LB1 / Γ:          4 / 3 (degree bound binds)
+  suggested:        hetero ((1+o(1))-approximation)
+
+Traces and sweeps:
+
+  $ migrate simulate rebalance --disks 6 --items 60 --trace | head -8
+  rounds: 3   (one column = 1 round)
+  disk   0 c=1 |   |
+  disk   1 c=2 |..#|
+  disk   2 c=3 |##+|
+  disk   3 c=4 |.#.|
+  disk   4 c=1 |   |
+  disk   5 c=2 |###|
+  wall time: 9.0
+
+Lab sweeps produce deterministic CSV:
+
+  $ ../bin/migrate_lab.exe --out . speedup >/dev/null
+  $ cat speedup.csv
+  M,c1_time,c2_time
+  1,3.0,2.0
+  2,6.0,4.0
+  4,12.0,8.0
+  8,24.0,16.0
+  16,48.0,32.0
+  32,96.0,64.0

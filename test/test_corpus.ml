@@ -1,0 +1,90 @@
+(* Golden regression tests over the curated instance corpus in
+   data/instances/: load each file, check the certified bounds, plan
+   with every applicable algorithm, validate, and pin the achieved
+   round counts.  A planner regression that costs rounds anywhere
+   fails here with the instance named. *)
+
+module M = Migration
+open Test_util
+
+let corpus_dir =
+  (* dune runs tests from the build sandbox; data/ is a source dep *)
+  List.find_opt Sys.file_exists
+    [ "data/instances"; "../data/instances"; "../../data/instances" ]
+  |> function
+  | Some d -> d
+  | None -> Alcotest.fail "corpus directory not found"
+
+let load name =
+  let path = Filename.concat corpus_dir name in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      M.Instance.of_string (really_input_string ic (in_channel_length ic)))
+
+(* per instance: (file, expected lb1, expected gamma, expected rounds
+   achievable by the general planner) *)
+let golden =
+  [
+    ("fig1.inst", 4, 3, 4);
+    ("triangle10_c1.inst", 20, 30, 30);
+    ("k5x8_c1.inst", 32, 40, 40);
+    ("even_mixed.inst", 10, 6, 10);
+    ("hetero_medium.inst", 32, 9, 32);
+    ("powerlaw.inst", 45, 14, 45);
+    ("clustered.inst", 47, 23, 47);
+  ]
+
+let test_golden (file, lb1, gamma, rounds) () =
+  let inst = load file in
+  let rng = rng_of_int 1 in
+  Alcotest.(check int) (file ^ " lb1") lb1 (M.Lower_bounds.lb1 inst);
+  Alcotest.(check int) (file ^ " gamma") gamma (M.Lower_bounds.lb2 ~rng inst);
+  let sched = M.Hetero_coloring.schedule ~rng:(rng_of_int 2) inst in
+  check_valid_schedule inst sched file;
+  Alcotest.(check int) (file ^ " rounds") rounds (M.Schedule.n_rounds sched)
+
+let test_all_algorithms_on_corpus () =
+  List.iter
+    (fun (file, _, _, _) ->
+      let inst = load file in
+      List.iter
+        (fun alg ->
+          if alg <> M.Even_opt || M.Instance.all_caps_even inst then begin
+            let sched = M.plan ~rng:(rng_of_int 3) alg inst in
+            match M.Schedule.validate inst sched with
+            | Ok () -> ()
+            | Error msg ->
+                Alcotest.failf "%s with %s: %s" file
+                  (M.algorithm_to_string alg)
+                  msg
+          end)
+        M.all_algorithms)
+    golden
+
+let test_corpus_roundtrips () =
+  List.iter
+    (fun (file, _, _, _) ->
+      let inst = load file in
+      let inst' = M.Instance.of_string (M.Instance.to_string inst) in
+      Alcotest.(check int) (file ^ " items survive roundtrip")
+        (M.Instance.n_items inst) (M.Instance.n_items inst'))
+    golden
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "golden",
+        List.map
+          (fun ((file, _, _, _) as entry) ->
+            Alcotest.test_case file `Quick (test_golden entry))
+          golden );
+      ( "sweep",
+        [
+          Alcotest.test_case "all algorithms validate" `Quick
+            test_all_algorithms_on_corpus;
+          Alcotest.test_case "serialization roundtrips" `Quick
+            test_corpus_roundtrips;
+        ] );
+    ]

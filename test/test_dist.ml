@@ -1,0 +1,205 @@
+(* Tests for the distributed orchestration protocol: Message, Net,
+   Runner. *)
+
+module D = Distproto
+module S = Storsim
+module M = Migration
+open Test_util
+
+let mk_job seed n_disks n_items =
+  let rng = rng_of_int seed in
+  let caps = Array.init n_disks (fun i -> 1 + (i mod 3)) in
+  let g = Mgraph.Multigraph.create ~n:n_disks () in
+  let sources = Array.make n_items 0 and targets = Array.make n_items 0 in
+  for e = 0 to n_items - 1 do
+    let u = Random.State.int rng n_disks in
+    let rec pick () =
+      let v = Random.State.int rng n_disks in
+      if v = u then pick () else v
+    in
+    let v = pick () in
+    ignore (Mgraph.Multigraph.add_edge g u v);
+    sources.(e) <- u;
+    targets.(e) <- v
+  done;
+  {
+    S.Cluster.instance = M.Instance.create g ~caps;
+    items = Array.init n_items Fun.id;
+    sources;
+    targets;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Net *)
+
+let test_net_ordering () =
+  let net = D.Net.create ~latency:0.1 ~jitter:0.0 ~seed:1 () in
+  let msg to_node payload =
+    { D.Message.from_node = 0; to_node; sent_at = 0.0; payload }
+  in
+  D.Net.send net ~now:0.0 (msg 1 (D.Message.Round_done { round = 0 }));
+  D.Net.send net ~now:0.0
+    (msg 2 (D.Message.Transfer { round = 0; item = 0; dst = 2 }));
+  (* control message (latency only) beats the data message (latency +
+     service time) *)
+  (match D.Net.next_delivery net with
+  | Some (at, m) ->
+      Alcotest.(check (float 1e-9)) "control first" 0.1 at;
+      Alcotest.(check int) "to node 1" 1 m.D.Message.to_node
+  | None -> Alcotest.fail "expected a delivery");
+  (match D.Net.next_delivery net with
+  | Some (at, _) -> Alcotest.(check (float 1e-9)) "data second" 1.1 at
+  | None -> Alcotest.fail "expected the data message");
+  Alcotest.(check bool) "quiet" true (D.Net.next_delivery net = None)
+
+let test_net_loss_accounting () =
+  let net = D.Net.create ~loss:0.5 ~seed:7 () in
+  let msg = {
+    D.Message.from_node = 0; to_node = 1; sent_at = 0.0;
+    payload = D.Message.Round_done { round = 0 };
+  } in
+  for _ = 1 to 200 do
+    D.Net.send net ~now:0.0 msg
+  done;
+  Alcotest.(check int) "offered" 200 (D.Net.offered net);
+  let d = D.Net.dropped net in
+  Alcotest.(check bool) "roughly half dropped" true (d > 60 && d < 140)
+
+let test_net_guards () =
+  Alcotest.check_raises "bad loss" (Invalid_argument "Net.create: loss in [0, 1)")
+    (fun () -> ignore (D.Net.create ~loss:1.0 ~seed:1 ()));
+  Alcotest.check_raises "bad latency"
+    (Invalid_argument "Net.create: negative timing") (fun () ->
+      ignore (D.Net.create ~latency:(-1.0) ~seed:1 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Runner *)
+
+let test_protocol_lossless () =
+  let job = mk_job 3 6 40 in
+  let sched = M.plan ~rng:(rng_of_int 3) M.Hetero job.S.Cluster.instance in
+  let net = D.Net.create ~seed:3 () in
+  let rep = D.Runner.run net job sched in
+  Alcotest.(check int) "all delivered" 40 rep.D.Runner.items_delivered;
+  Alcotest.(check int) "no retransmissions" 0 rep.D.Runner.retransmissions;
+  Alcotest.(check int) "no drops" 0 rep.D.Runner.messages_dropped;
+  Alcotest.(check int) "rounds" (M.Schedule.n_rounds sched) rep.D.Runner.rounds;
+  (* message budget: per item one Transfer + one Ack; per round one
+     Prepare per source + RoundDone per participant *)
+  Alcotest.(check bool) "message count sane" true
+    (rep.D.Runner.messages_offered >= 2 * 40
+    && rep.D.Runner.messages_offered <= (2 * 40) + (4 * 6 * rep.D.Runner.rounds))
+
+let protocol_survives_loss =
+  qtest "protocol: migration completes under message loss" ~count:20
+    QCheck2.Gen.(pair (int_bound 100_000) (int_range 0 40))
+    (fun (seed, loss_pct) ->
+      let job = mk_job seed 6 30 in
+      let sched =
+        M.plan ~rng:(rng_of_int seed) M.Hetero job.S.Cluster.instance
+      in
+      let net =
+        D.Net.create ~loss:(float_of_int loss_pct /. 100.0) ~seed ()
+      in
+      let rep = D.Runner.run net job sched in
+      rep.D.Runner.items_delivered = 30
+      && (loss_pct > 0 || rep.D.Runner.retransmissions = 0))
+
+let test_protocol_loss_costs () =
+  let run loss =
+    let job = mk_job 11 8 80 in
+    let sched = M.plan ~rng:(rng_of_int 11) M.Hetero job.S.Cluster.instance in
+    let net = D.Net.create ~loss ~seed:11 () in
+    D.Runner.run net job sched
+  in
+  let clean = run 0.0 and lossy = run 0.3 in
+  Alcotest.(check bool) "lossy needs retransmissions" true
+    (lossy.D.Runner.retransmissions > 0);
+  Alcotest.(check bool) "lossy is slower" true
+    (lossy.D.Runner.wall_time > clean.D.Runner.wall_time);
+  Alcotest.(check bool) "lossy sends more" true
+    (lossy.D.Runner.messages_offered > clean.D.Runner.messages_offered)
+
+let test_protocol_empty_schedule () =
+  let job = mk_job 5 4 0 in
+  let net = D.Net.create ~seed:5 () in
+  let rep = D.Runner.run net job (M.Schedule.of_rounds [||]) in
+  Alcotest.(check int) "nothing" 0 rep.D.Runner.items_delivered;
+  Alcotest.(check (float 1e-9)) "instant" 0.0 rep.D.Runner.wall_time
+
+let test_protocol_barrier_ordering () =
+  (* wall time of k rounds is at least k barriers' worth of latency:
+     prepare + transfer + ack per round *)
+  let job = mk_job 13 5 25 in
+  let sched = M.plan ~rng:(rng_of_int 13) M.Hetero job.S.Cluster.instance in
+  let net = D.Net.create ~latency:0.1 ~jitter:0.0 ~per_item:1.0 ~seed:13 () in
+  let rep = D.Runner.run net job sched in
+  let k = float_of_int rep.D.Runner.rounds in
+  Alcotest.(check bool) "per-round floor" true
+    (rep.D.Runner.wall_time >= k *. (0.1 +. 1.1 +. 0.1) -. 1e-6)
+
+let test_failover_recovers () =
+  let job = mk_job 17 6 60 in
+  let sched = M.plan ~rng:(rng_of_int 17) M.Hetero job.S.Cluster.instance in
+  let baseline =
+    D.Runner.run (D.Net.create ~seed:17 ()) job sched
+  in
+  let rep =
+    D.Runner.run
+      ~crash:(baseline.D.Runner.wall_time /. 2.0, 3.0)
+      (D.Net.create ~seed:17 ())
+      job sched
+  in
+  Alcotest.(check int) "one failover" 1 rep.D.Runner.failovers;
+  Alcotest.(check int) "all delivered" 60 rep.D.Runner.items_delivered;
+  Alcotest.(check bool) "outage costs time" true
+    (rep.D.Runner.wall_time > baseline.D.Runner.wall_time);
+  Alcotest.(check bool) "query/report traffic" true
+    (rep.D.Runner.messages_offered > baseline.D.Runner.messages_offered)
+
+let test_failover_under_loss () =
+  let job = mk_job 19 6 40 in
+  let sched = M.plan ~rng:(rng_of_int 19) M.Hetero job.S.Cluster.instance in
+  let rep =
+    D.Runner.run ~crash:(5.0, 2.0)
+      (D.Net.create ~loss:0.2 ~seed:19 ())
+      job sched
+  in
+  Alcotest.(check int) "all delivered despite crash + loss" 40
+    rep.D.Runner.items_delivered;
+  Alcotest.(check int) "one failover" 1 rep.D.Runner.failovers
+
+let test_failover_after_completion_is_noop () =
+  let job = mk_job 23 5 20 in
+  let sched = M.plan ~rng:(rng_of_int 23) M.Hetero job.S.Cluster.instance in
+  let rep =
+    D.Runner.run ~crash:(1.0e9, 1.0) (D.Net.create ~seed:23 ()) job sched
+  in
+  Alcotest.(check int) "never crashed" 0 rep.D.Runner.failovers
+
+let () =
+  Alcotest.run "distproto"
+    [
+      ( "net",
+        [
+          Alcotest.test_case "delivery ordering" `Quick test_net_ordering;
+          Alcotest.test_case "loss accounting" `Quick test_net_loss_accounting;
+          Alcotest.test_case "guards" `Quick test_net_guards;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "lossless run" `Quick test_protocol_lossless;
+          protocol_survives_loss;
+          Alcotest.test_case "loss costs" `Quick test_protocol_loss_costs;
+          Alcotest.test_case "empty schedule" `Quick test_protocol_empty_schedule;
+          Alcotest.test_case "barrier ordering" `Quick
+            test_protocol_barrier_ordering;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "crash and recover" `Quick test_failover_recovers;
+          Alcotest.test_case "crash under loss" `Quick test_failover_under_loss;
+          Alcotest.test_case "late crash is a no-op" `Quick
+            test_failover_after_completion_is_noop;
+        ] );
+    ]

@@ -1,0 +1,76 @@
+(** Shared generators and helpers for the test suites. *)
+
+module Multigraph = Mgraph.Multigraph
+
+let rng_of_int seed = Random.State.make [| seed; 0x5eed |]
+
+(* ------------------------------------------------------------------ *)
+(* QCheck generators                                                   *)
+
+(** Random multigraph described by (seed, n, m) so shrinking stays
+    meaningful; realized deterministically. *)
+type graph_spec = { seed : int; n : int; m : int }
+
+let graph_of_spec { seed; n; m } =
+  let rng = rng_of_int seed in
+  Mgraph.Graph_gen.gnm rng ~n ~m
+
+let graph_spec_gen ~max_n ~max_m =
+  QCheck2.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let* n = int_range 2 max_n in
+    let* m = int_range 0 max_m in
+    return { seed; n; m })
+
+let pp_spec { seed; n; m } = Printf.sprintf "{seed=%d; n=%d; m=%d}" seed n m
+
+(** Instance spec: graph spec plus a capacity menu selector. *)
+type instance_spec = { gspec : graph_spec; cap_seed : int; menu : int list }
+
+let instance_of_spec { gspec; cap_seed; menu } =
+  let g = graph_of_spec gspec in
+  let rng = rng_of_int cap_seed in
+  Migration.Instance.random_caps rng g ~choices:menu
+
+let instance_spec_gen ?(menu = [ 1; 2; 3; 4; 5 ]) ~max_n ~max_m () =
+  QCheck2.Gen.(
+    let* gspec = graph_spec_gen ~max_n ~max_m in
+    let* cap_seed = int_bound 1_000_000 in
+    return { gspec; cap_seed; menu })
+
+let pp_instance_spec { gspec; cap_seed; menu } =
+  Printf.sprintf "{g=%s; cap_seed=%d; menu=[%s]}" (pp_spec gspec) cap_seed
+    (String.concat ";" (List.map string_of_int menu))
+
+(* ------------------------------------------------------------------ *)
+(* Assertion helpers                                                   *)
+
+let check_valid_schedule inst sched where =
+  match Migration.Schedule.validate inst sched with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: invalid schedule: %s" where msg
+
+let check_valid_coloring ec where =
+  match Coloring.Edge_coloring.validate ec with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: invalid coloring: %s" where msg
+
+(** Make every node's degree even by pairing odd-degree nodes, so the
+    graph admits Euler circuits. *)
+let evenize g =
+  let odd = ref [] in
+  for v = Multigraph.n_nodes g - 1 downto 0 do
+    if Multigraph.degree g v mod 2 = 1 then odd := v :: !odd
+  done;
+  let rec pair = function
+    | a :: b :: rest ->
+        ignore (Multigraph.add_edge g a b);
+        pair rest
+    | _ -> ()
+  in
+  pair !odd;
+  g
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
