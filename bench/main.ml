@@ -1064,6 +1064,26 @@ let e24_deadline () =
         (100.0 *. r.M.Deadline.moved_weight /. r.M.Deadline.total_weight))
     [ 1; 2; 3; 4 ]
 
+(* ------------------------------------------------------------------ *)
+(* E25: structured instrumentation — where planning time goes          *)
+
+let e25_metrics () =
+  header "E25 [metrics]  per-phase timings and counters (Migration.Instr)";
+  Printf.printf
+    "pipeline auto on a mixed instance; spans aggregate every\n\
+     component's solver run\n\n";
+  let g = Mgraph.Graph_gen.gnm (rng_of 57) ~n:96 ~m:6000 in
+  let inst = M.Instance.random_caps (rng_of 58) g ~choices:[ 1; 2; 3; 4 ] in
+  M.Instr.reset ();
+  let sched, report =
+    M.Pipeline.solve ~rng:(rng_of 59) ~choose:M.Pipeline.auto_choose inst
+  in
+  fail_invalid inst sched "pipeline auto";
+  Printf.printf "%d disks, %d items -> %d rounds over %d component(s)\n\n"
+    (M.Instance.n_disks inst) (M.Instance.n_items inst)
+    (M.Schedule.n_rounds sched) report.M.Pipeline.components;
+  Format.printf "%a@." M.Instr.pp_table (M.Instr.snapshot ())
+
 let experiments =
   [
     ("fig1", e1_fig1);
@@ -1091,6 +1111,7 @@ let experiments =
     ("orbits", e22_orbit_engine);
     ("protocol", e23_protocol);
     ("deadline", e24_deadline);
+    ("metrics", e25_metrics);
   ]
 
 let () =

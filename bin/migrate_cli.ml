@@ -81,6 +81,22 @@ let algorithm_arg =
   in
   Arg.(value & opt algorithm_conv Migration.Auto & info [ "a"; "algorithm" ] ~docv:"ALG" ~doc)
 
+(* Structured instrumentation (Migration.Instr): reset before planning,
+   report after.  Counters are registered at module load, so the JSON
+   key set is stable run to run (zero, never missing). *)
+let metrics_arg =
+  let doc = "Print the planner metrics table (counters and phase timings)." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let metrics_json_arg =
+  let doc = "Print the planner metrics as a single JSON object." in
+  Arg.(value & flag & info [ "metrics-json" ] ~doc)
+
+let report_metrics ~metrics ~metrics_json =
+  let snap = Migration.Instr.snapshot () in
+  if metrics then Format.printf "@.%a@." Migration.Instr.pp_table snap;
+  if metrics_json then print_endline (Migration.Instr.to_json snap)
+
 (* ------------------------------------------------------------------ *)
 (* generate *)
 
@@ -143,10 +159,11 @@ let bounds_cmd =
 (* ------------------------------------------------------------------ *)
 (* plan *)
 
-let plan path alg seed quiet save verbose =
+let plan path alg seed quiet save metrics metrics_json verbose =
   setup_logs verbose;
   let inst = read_instance path in
   let rng = rng_of_seed seed in
+  Migration.Instr.reset ();
   let sched = Migration.plan ~rng alg inst in
   (match Migration.Schedule.validate inst sched with
   | Ok () -> ()
@@ -166,7 +183,8 @@ let plan path alg seed quiet save verbose =
       output_string oc (Migration.Schedule.to_string sched);
       close_out oc;
       Printf.printf "saved to %s\n" path);
-  if not quiet then Format.printf "%a@." Migration.Schedule.pp sched
+  if not quiet then Format.printf "%a@." Migration.Schedule.pp sched;
+  report_metrics ~metrics ~metrics_json
 
 let plan_cmd =
   let quiet =
@@ -181,14 +199,15 @@ let plan_cmd =
   Cmd.v (Cmd.info "plan" ~doc)
     Term.(
       const plan $ instance_arg $ algorithm_arg $ seed_arg $ quiet $ save
-      $ verbose_arg)
+      $ metrics_arg $ metrics_json_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare *)
 
-let compare_algs path seed =
+let compare_algs path seed metrics metrics_json =
   let inst = read_instance path in
   let rng () = rng_of_seed seed in
+  Migration.Instr.reset ();
   let lb = Migration.Lower_bounds.lower_bound ~rng:(rng ()) inst in
   Printf.printf "%d disks, %d items, lower bound %d\n\n"
     (Migration.Instance.n_disks inst)
@@ -210,11 +229,30 @@ let compare_algs path seed =
             r
             (if lb = 0 then 1.0 else float_of_int r /. float_of_int lb)
             (Migration.Schedule.utilization inst sched))
-    [ Migration.Even_opt; Migration.Hetero; Migration.Saia_split; Migration.Greedy ]
+    [ Migration.Even_opt; Migration.Hetero; Migration.Saia_split; Migration.Greedy ];
+  (* the pipeline run: decompose, pick a solver per component, merge *)
+  (match Migration.Pipeline.plan_report ~rng:(rng ()) "auto" inst with
+  | None -> ()
+  | Some (sched, report) ->
+      Printf.printf "\npipeline auto: %d rounds over %d component(s)\n"
+        (Migration.Schedule.n_rounds sched)
+        report.Migration.Pipeline.components;
+      List.iter
+        (fun s ->
+          Printf.printf
+            "  component %d: %d disks, %d items -> %s (%d rounds)\n"
+            s.Migration.Pipeline.component s.Migration.Pipeline.n_disks
+            s.Migration.Pipeline.n_items s.Migration.Pipeline.solver
+            s.Migration.Pipeline.rounds)
+        report.Migration.Pipeline.selections);
+  report_metrics ~metrics ~metrics_json
 
 let compare_cmd =
   let doc = "Run every algorithm on an instance and tabulate the results." in
-  Cmd.v (Cmd.info "compare" ~doc) Term.(const compare_algs $ instance_arg $ seed_arg)
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(
+      const compare_algs $ instance_arg $ seed_arg $ metrics_arg
+      $ metrics_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
@@ -333,7 +371,12 @@ let forward_cmd =
 
 let check_cmd_impl inst_path sched_path =
   let inst = read_instance inst_path in
-  let sched = Migration.Schedule.of_string (read_file sched_path) in
+  let sched =
+    try Migration.Schedule.of_string (read_file sched_path)
+    with Failure msg | Invalid_argument msg ->
+      Printf.eprintf "error: not a valid schedule: %s\n" msg;
+      exit 2
+  in
   match Migration.Schedule.validate inst sched with
   | Ok () ->
       Printf.printf "valid: %d rounds, %d items\n"

@@ -23,21 +23,39 @@ let () =
   Format.printf "Lower bounds: LB1 (degree/constraint) = %d, LB2 (Γ) = %d@."
     lb1 lb2;
 
+  (* Planners are first-class values in the Solver registry; resolve
+     one by name (or use the Migration.Solver.* built-ins directly). *)
   let rng = Random.State.make [| 42 |] in
   List.iter
-    (fun alg ->
+    (fun s ->
       (* even-opt requires all-even constraints; skip it here *)
-      if alg <> Migration.Even_opt then begin
-        let sched = Migration.plan ~rng alg inst in
+      if s.Migration.Solver.can_solve inst then begin
+        let sched = Migration.Solver.solve ~rng s inst in
         (match Migration.Schedule.validate inst sched with
         | Ok () -> ()
         | Error msg -> failwith msg);
-        Format.printf "@.%s: %d rounds@.%a@."
-          (Migration.algorithm_to_string alg)
+        Format.printf "@.%s: %d rounds@.%a@." s.Migration.Solver.name
           (Migration.Schedule.n_rounds sched)
           Migration.Schedule.pp sched
       end)
-    Migration.all_algorithms;
+    (Migration.Solver.all ());
+
+  (* The "auto" planner is the full pipeline: decompose into connected
+     components, pick a solver per component, merge the schedules.
+     (The legacy enum API still works: Migration.plan Migration.Auto
+     inst routes here.) *)
+  let sched, report =
+    Migration.Pipeline.solve ~rng ~choose:Migration.Pipeline.auto_choose inst
+  in
+  Format.printf "@.pipeline auto: %d rounds over %d component(s)@."
+    (Migration.Schedule.n_rounds sched)
+    report.Migration.Pipeline.components;
+  List.iter
+    (fun sel ->
+      Format.printf "  component %d -> %s (%d rounds)@."
+        sel.Migration.Pipeline.component sel.Migration.Pipeline.solver
+        sel.Migration.Pipeline.rounds)
+    report.Migration.Pipeline.selections;
 
   (* the exact optimum, for reference (instance is tiny) *)
   match Migration.Exact.opt_rounds inst with

@@ -14,6 +14,12 @@ end
 
 let other a b x = if x = a then b else a
 
+(* Kempe-walk observability: walks committed, individual edge flips
+   inside committed walks, and walks abandoned without progress. *)
+let c_walks = Probes.counter "recolor.kempe_walks"
+let c_flips = Probes.counter "recolor.kempe_flips"
+let c_failed = Probes.counter "recolor.failed_walks"
+
 (* Unused edges of color [want] at [w].  [used] marks edges already on
    the walk. *)
 let continuations t used w want =
@@ -41,6 +47,8 @@ let acceptable t delta ~v ~a ~b ~here =
   && Ec.count t v a + Delta.get delta (v, a) < Ec.cap t v
 
 let commit t walk =
+  Probes.bump c_walks;
+  Probes.bump ~by:(List.length walk) c_flips;
   (* Unassign everything first so the reassignments never transiently
      overflow: counts only grow towards the (valid) final state. *)
   let flipped =
@@ -82,7 +90,9 @@ let try_free t ?rng ~v ~a ~b () =
             end
             else grow next (other a b want) walk (steps + 1)
     in
-    grow v a [] 0
+    let freed = grow v a [] 0 in
+    if not freed then Probes.bump c_failed;
+    freed
   end
 
 (* Cartesian pairs (a, b) with a missing at one endpoint and b at the

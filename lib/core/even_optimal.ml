@@ -1,5 +1,8 @@
 module Multigraph = Mgraph.Multigraph
 
+let t_orient = Probes.timer "even_opt.pad_orient"
+let t_decompose = Probes.timer "even_opt.decompose"
+
 (* Steps 1-3: pad to degree exactly c_v * delta and Euler-orient.
    Returns the padded graph (edges 0..m-1 are the real transfers) and
    the orientation. *)
@@ -118,11 +121,14 @@ let schedule ?(method_ = `Flows) inst =
   if m = 0 then Schedule.of_rounds [||]
   else begin
     let delta = Lower_bounds.lb1 inst in
-    let g', orient = padded_orientation inst delta in
+    let g', orient =
+      Probes.time t_orient (fun () -> padded_orientation inst delta)
+    in
     let rounds =
-      match method_ with
-      | `Flows -> decompose_by_flows inst delta g' orient m
-      | `Konig -> decompose_by_konig inst delta g' orient m
+      Probes.time t_decompose (fun () ->
+          match method_ with
+          | `Flows -> decompose_by_flows inst delta g' orient m
+          | `Konig -> decompose_by_konig inst delta g' orient m)
     in
     (* drop padding-only rounds *)
     let nonempty = Array.to_list rounds |> List.filter (fun r -> r <> []) in

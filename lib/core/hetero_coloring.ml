@@ -16,6 +16,16 @@ type stats = {
   swaps : int;
 }
 
+(* Structured instrumentation (Migration.Instr): phase spans plus the
+   counters the per-run [stats] record already tracks, so metrics
+   aggregate across pipeline components and repeated runs. *)
+let t_phase1 = Probes.timer "hetero.phase1"
+let t_phase2 = Probes.timer "hetero.phase2"
+let t_refine = Probes.timer "hetero.refine"
+let c_swaps = Probes.counter "hetero.lean_swaps"
+let c_escalations = Probes.counter "hetero.escalations"
+let c_phase2_edges = Probes.counter "hetero.phase2_edges"
+
 (* Lemma 5.3 move: uncolor a colored ("lean") edge adjacent to the
    stuck edge, color the stuck edge, then recolor the lean edge.  All
    or nothing: reverts on failure. *)
@@ -108,7 +118,7 @@ let color ?rng inst =
       m "start: %d items, %d disks, palette %d (lb1 %d, lb %d)"
         (Instance.n_items inst) (Instance.n_disks inst) q0
         (Lower_bounds.lb1 inst) lb);
-  let stuck = phase1 t ?rng (edge_order inst) in
+  let stuck = Probes.time t_phase1 (fun () -> phase1 t ?rng (edge_order inst)) in
   Log.debug (fun m -> m "phase 1 left %d stuck edges" (List.length stuck));
   (* lean-edge moves on the survivors *)
   let stuck =
@@ -116,6 +126,7 @@ let color ?rng inst =
       (fun e ->
         if try_lean_swap t ?rng e then begin
           incr swaps;
+          Probes.bump c_swaps;
           false
         end
         else true)
@@ -131,6 +142,7 @@ let color ?rng inst =
         let key = if u <= v then (u, v) else (v, u) in
         if Hashtbl.mem seen_pairs key then begin
           incr escalations;
+          Probes.bump c_escalations;
           let c = Ec.add_color t in
           Ec.assign t e c;
           false
@@ -144,7 +156,8 @@ let color ?rng inst =
   Log.debug (fun m ->
       m "after lean swaps: %d edges to G0, %d escalations, %d swaps"
         (List.length g0) !escalations !swaps);
-  phase2 t inst g0;
+  Probes.bump ~by:(List.length g0) c_phase2_edges;
+  Probes.time t_phase2 (fun () -> phase2 t inst g0);
   (* drop any colors that ended up unused before reporting the palette *)
   let used = Array.make (Ec.n_colors t) false in
   Multigraph.iter_edges g (fun { Multigraph.id; _ } ->
@@ -170,7 +183,7 @@ let schedule_stats ?rng inst =
      witness escalations left behind; the refine post-pass dissolves
      such rounds when possible (never worse, validated move by move) *)
   if Schedule.n_rounds sched > stats.lb then begin
-    let sched', r = Refine.refine inst sched in
+    let sched', r = Probes.time t_refine (fun () -> Refine.refine inst sched) in
     if r.Refine.rounds_after < r.Refine.rounds_before then begin
       Log.debug (fun m ->
           m "refine reclaimed %d round(s)"

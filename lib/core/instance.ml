@@ -87,6 +87,52 @@ let of_string s =
       create g ~caps:(Array.of_list caps)
   | _ -> fail "missing header"
 
+type component = { instance : t; nodes : int array; edges : int array }
+
+let decompose t =
+  let g = t.graph in
+  let n = Multigraph.n_nodes g in
+  let comp, k = Mgraph.Traversal.components g in
+  if k <= 1 then
+    [
+      {
+        instance = t;
+        nodes = Array.init n Fun.id;
+        edges = Array.init (Multigraph.n_edges g) Fun.id;
+      };
+    ]
+  else begin
+    (* local node ids follow the original node order within each
+       component, so the mapping arrays are monotone — easier to test
+       and stable across runs *)
+    let local = Array.make n (-1) in
+    let sizes = Array.make k 0 in
+    for v = 0 to n - 1 do
+      local.(v) <- sizes.(comp.(v));
+      sizes.(comp.(v)) <- sizes.(comp.(v)) + 1
+    done;
+    let graphs = Array.init k (fun c -> Multigraph.create ~n:sizes.(c) ()) in
+    let nodes = Array.init k (fun c -> Array.make sizes.(c) (-1)) in
+    for v = 0 to n - 1 do
+      nodes.(comp.(v)).(local.(v)) <- v
+    done;
+    let edges = Array.make k [] in
+    (* iter_edges visits in increasing id order; accumulate reversed *)
+    Multigraph.iter_edges g (fun { Multigraph.id; u; v } ->
+        let c = comp.(u) in
+        ignore (Multigraph.add_edge graphs.(c) local.(u) local.(v));
+        edges.(c) <- id :: edges.(c));
+    List.init k (fun c ->
+        let caps =
+          Array.map (fun v -> t.caps.(v)) nodes.(c)
+        in
+        {
+          instance = create graphs.(c) ~caps;
+          nodes = nodes.(c);
+          edges = Array.of_list (List.rev edges.(c));
+        })
+  end
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>instance: %d disks, %d items@," (n_disks t)
     (n_items t);

@@ -42,4 +42,23 @@ val to_string : t -> string
 (** @raise Failure on malformed input. *)
 val of_string : string -> t
 
+(** One connected component of an instance, with the index maps back
+    into the parent: [nodes.(v')] ([edges.(e')]) is the parent node
+    (edge) id of component node [v'] (edge [e']).  Both maps are
+    strictly increasing. *)
+type component = {
+  instance : t;
+  nodes : int array;
+  edges : int array;
+}
+
+(** [decompose t] splits [t] into its connected components — the
+    pipeline's unit of solving.  Isolated disks form single-node,
+    zero-item components (planners skip them, but the caps survive the
+    round trip).  A connected instance decomposes into one component
+    whose [instance] is [t] itself and whose maps are the identity.
+    Order follows {!Mgraph.Traversal.components} (discovery order by
+    node id). *)
+val decompose : t -> component list
+
 val pp : Format.formatter -> t -> unit

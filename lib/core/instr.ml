@@ -1,0 +1,4 @@
+(* Re-export of the base instrumentation library under the migration
+   namespace, so planner users write [Migration.Instr] and never
+   depend on [Probes] directly. *)
+include Probes

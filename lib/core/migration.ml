@@ -21,6 +21,9 @@ module Refine = Refine
 module Orbits = Orbits
 module Diagnostics = Diagnostics
 module Deadline = Deadline
+module Solver = Solver
+module Pipeline = Pipeline
+module Instr = Instr
 
 (** Planner selection. *)
 type algorithm =
@@ -55,24 +58,22 @@ let algorithm_of_string = function
 
 let all_algorithms = [ Auto; Even_opt; Hetero; Saia_split; Greedy; Orbit_driven ]
 
+(** The {!Solver.t} behind each legacy variant.  [Auto] is the
+    decompose/solve/merge pipeline ({!Pipeline.auto}); the others are
+    the registered built-ins. *)
+let solver_of_algorithm = function
+  | Auto -> Pipeline.auto
+  | Even_opt -> Solver.even_opt
+  | Hetero -> Solver.hetero
+  | Saia_split -> Solver.saia
+  | Greedy -> Solver.greedy
+  | Orbit_driven -> Solver.orbits
+
 (** [plan ?rng alg inst] computes a feasible schedule.  Every algorithm
     returns a schedule that passes {!Schedule.validate}; they differ
     in how close to the optimum round count they land (see
-    EXPERIMENTS.md). *)
-let rec plan ?rng alg inst =
-  match alg with
-  | Auto ->
-      if Instance.all_caps_even inst then plan ?rng Even_opt inst
-      else plan ?rng Hetero inst
-  | Even_opt -> Even_optimal.schedule inst
-  | Hetero -> Hetero_coloring.schedule ?rng inst
-  | Saia_split -> Saia.schedule ?rng inst
-  | Greedy ->
-      let ec =
-        Coloring.Greedy_coloring.color (Instance.graph inst)
-          ~cap:(Instance.cap inst)
-      in
-      Schedule.of_coloring ec
-  | Orbit_driven ->
-      let ec, _ = Orbits.color_via_orbits ?rng inst in
-      Schedule.of_coloring ec
+    EXPERIMENTS.md).
+
+    Thin compatibility shim over the {!Solver} registry: new code
+    should resolve a {!Solver.t} (or call {!Pipeline.solve}) directly. *)
+let plan ?rng alg inst = Solver.solve ?rng (solver_of_algorithm alg) inst

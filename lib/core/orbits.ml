@@ -279,7 +279,12 @@ type engine_stats = {
   largest_orbit : int;
 }
 
+let t_engine = Probes.timer "orbits.engine"
+let c_growths = Probes.counter "orbits.growths"
+let c_witnesses = Probes.counter "orbits.witnesses"
+
 let color_via_orbits ?rng inst =
+  Probes.time t_engine @@ fun () ->
   let g = Instance.graph inst in
   let q0 = max 1 (Lower_bounds.lower_bound ?rng inst) in
   let t = Ec.create g ~cap:(Instance.cap inst) ~colors:q0 in
@@ -353,6 +358,8 @@ let color_via_orbits ?rng inst =
           let c = Ec.add_color t in
           Ec.assign t e c)
     (Ec.uncolored t);
+  Probes.bump ~by:!growths c_growths;
+  Probes.bump ~by:(!wd + !wg) c_witnesses;
   let stats =
     {
       palette = Ec.n_colors t;

@@ -1,0 +1,61 @@
+(** The planning pipeline: decompose → solve → merge.
+
+    Connected components of the transfer graph are independent
+    scheduling problems — no edge crosses components, so per-component
+    schedules merged round-wise ({!Schedule.merge}) stay feasible and
+    the merged round count is the maximum over components.  Solving
+    per component lets the selector pick a {e different} algorithm for
+    each one: on a mixed instance whose all-even components sit apart
+    from its odd-cap components, ["auto"] runs the provably-optimal
+    even solver where it applies and the general algorithm elsewhere,
+    which can strictly reduce total rounds versus any single
+    monolithic planner.
+
+    Every stage records spans and counters in {!Instr}
+    (["pipeline.decompose"], ["pipeline.solve"], ["pipeline.merge"],
+    ["pipeline.components"], ["pipeline.mixed_selection"]). *)
+
+(** What the pipeline did for one component. *)
+type selection = {
+  component : int;   (** component index, as in {!Instance.decompose} *)
+  n_disks : int;
+  n_items : int;
+  solver : string;   (** name of the solver that ran *)
+  rounds : int;
+}
+
+type report = {
+  components : int;      (** total components, including isolated disks *)
+  selections : selection list;
+      (** one entry per component with at least one item *)
+}
+
+(** [solve ?rng ~choose inst] runs the full pipeline, picking
+    [choose component_instance] for every non-empty component.  A
+    connected instance (single non-empty component) is solved
+    monolithically on [inst] itself — bit-for-bit the same behavior
+    (and RNG consumption) as calling the chosen solver directly. *)
+val solve :
+  ?rng:Random.State.t ->
+  choose:(Instance.t -> Solver.t) ->
+  Instance.t ->
+  Schedule.t * report
+
+(** The ["auto"] selection rule: {!Solver.even_opt} when the
+    (component) instance has all-even constraints, {!Solver.hetero}
+    otherwise. *)
+val auto_choose : Instance.t -> Solver.t
+
+(** The ["auto"] solver — the pipeline with {!auto_choose} — also
+    added to the {!Solver} registry at load time. *)
+val auto : Solver.t
+
+(** [plan_report ?rng name inst] resolves [name] in the registry and
+    runs it through the pipeline ([choose = const]), returning the
+    per-component report.  ["auto"] uses {!auto_choose}.  [None] if
+    the name is unknown. *)
+val plan_report :
+  ?rng:Random.State.t ->
+  string ->
+  Instance.t ->
+  (Schedule.t * report) option

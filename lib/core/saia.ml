@@ -8,12 +8,18 @@ let round_bound inst =
   in
   max 1 (3 * d / 2)
 
+let t_split = Probes.timer "saia.split"
+let t_shannon = Probes.timer "saia.shannon"
+
 let schedule ?rng inst =
   let g = Instance.graph inst in
   if Multigraph.n_edges g = 0 then Schedule.of_rounds [||]
   else begin
-    let sg = Split_graph.split g ~caps:(Instance.caps inst) in
-    let ec = Coloring.Shannon.color ?rng sg in
+    let sg =
+      Probes.time t_split (fun () ->
+          Split_graph.split g ~caps:(Instance.caps inst))
+    in
+    let ec = Probes.time t_shannon (fun () -> Coloring.Shannon.color ?rng sg) in
     (* split edge ids coincide with original edge ids *)
     let rounds = Array.make (Ec.n_colors ec) [] in
     Multigraph.iter_edges sg (fun { Multigraph.id; _ } ->

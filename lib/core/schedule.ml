@@ -76,17 +76,31 @@ let max_parallelism inst t =
       Hashtbl.fold (fun _ c acc -> max c acc) load 0)
     t.rounds
 
+(* Utilization counts occupied endpoint slots with the same accounting
+   [validate] applies: per round, disk [v] has [c_v] slots and every
+   scheduled edge occupies one slot per endpoint incidence.  Summing
+   the per-disk loads (rather than [2 * |round|] directly) keeps the
+   semantics explicit: a self-loop contributes both of its incidences
+   to one disk — it does not silently count as two distinct endpoints.
+   [Instance.create] rejects self-loops, so for instance edges the two
+   formulas agree (the test suite checks exactly that). *)
 let utilization inst t =
   if n_rounds t = 0 then 1.0
   else begin
+    let g = Instance.graph inst in
     let total_cap =
       Array.fold_left ( + ) 0 (Instance.caps inst) |> float_of_int
     in
     if total_cap = 0.0 then 1.0
     else begin
-      let used =
-        Array.fold_left (fun acc r -> acc + (2 * List.length r)) 0 t.rounds
-      in
+      let load = Array.make (Instance.n_disks inst) 0 in
+      Array.iter
+        (List.iter (fun e ->
+             let u, v = Multigraph.endpoints g e in
+             load.(u) <- load.(u) + 1;
+             load.(v) <- load.(v) + 1))
+        t.rounds;
+      let used = Array.fold_left ( + ) 0 load in
       float_of_int used /. (total_cap *. float_of_int (n_rounds t))
     end
   end
@@ -114,6 +128,15 @@ let of_string s =
               if k < 0 then fail "negative round count";
               let lines = Array.of_list rest in
               if Array.length lines < k then fail "missing round lines";
+              (* only blank lines may follow the declared rounds:
+                 silently dropping extra lines would make a truncated
+                 header masquerade as a valid (shorter) schedule *)
+              for i = k to Array.length lines - 1 do
+                if String.trim lines.(i) <> "" then
+                  fail
+                    (Printf.sprintf "trailing garbage after round %d: %S" k
+                       lines.(i))
+              done;
               let parse_round line =
                 String.split_on_char ' ' (String.trim line)
                 |> List.filter (fun tok -> tok <> "")
@@ -125,6 +148,32 @@ let of_string s =
               { rounds = Array.init k (fun i -> parse_round lines.(i)) })
       | _ -> fail "missing header")
   | [] -> fail "empty input"
+
+(* Round-wise union: round [i] of the result is the concatenation of
+   every part's round [i], remapped through its edge map.  Feasibility
+   is preserved when the parts live on disjoint node sets (the
+   pipeline's case: one part per connected component). *)
+let merge parts =
+  let k =
+    List.fold_left (fun acc (s, _) -> max acc (n_rounds s)) 0 parts
+  in
+  let rounds = Array.make k [] in
+  List.iter
+    (fun (s, edge_map) ->
+      Array.iteri
+        (fun i items ->
+          let remapped =
+            List.map
+              (fun e ->
+                if e < 0 || e >= Array.length edge_map then
+                  invalid_arg "Schedule.merge: edge id outside its map"
+                else edge_map.(e))
+              items
+          in
+          rounds.(i) <- List.rev_append remapped rounds.(i))
+        s.rounds)
+    parts;
+  { rounds }
 
 let pp ppf t =
   let pp_items ppf items =

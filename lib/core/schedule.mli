@@ -29,15 +29,34 @@ val validate : Instance.t -> t -> (unit, string) result
 (** Per-round transfer counts of the busiest disk, for reporting. *)
 val max_parallelism : Instance.t -> t -> int array
 
-(** Fraction of capacity Σc_v actually used, averaged over rounds —
-    how well the schedule packs transfers. *)
+(** Fraction of capacity [Σ c_v] actually used, averaged over rounds —
+    how well the schedule packs transfers.  "Used" counts occupied
+    endpoint slots per round, the same accounting {!validate} applies:
+    an ordinary edge occupies one slot at each of its two endpoints; a
+    (hypothetical) self-loop would occupy two slots on its single
+    node.  Instances reject self-loops at construction, so for
+    instance edges this totals [2 * n_items] — but the per-endpoint
+    definition is the semantic one.  Empty schedules report [1.0]. *)
 val utilization : Instance.t -> t -> float
+
+(** [merge parts] unions schedules round-wise: round [i] of the result
+    is the concatenation of each part's round [i] with edge ids
+    remapped through the part's map ([map.(local_edge) = global_edge],
+    as produced by {!Instance.decompose}).  The result has
+    [max_i n_rounds] rounds.  Feasible whenever the parts occupy
+    disjoint node sets.
+    @raise Invalid_argument if a part schedules an edge id outside its
+    map. *)
+val merge : (t * int array) list -> t
 
 val pp : Format.formatter -> t -> unit
 
 (** Serialization: header ["rounds k"], then one line per round of
-    space-separated edge ids.  Round-trips exactly. *)
+    space-separated edge ids.  [of_string (to_string t)] round-trips
+    exactly. *)
 val to_string : t -> string
 
-(** @raise Failure on malformed input. *)
+(** @raise Failure on malformed input, including non-blank trailing
+    lines after the declared [k] rounds (a truncated or corrupted
+    header must not silently drop transfers). *)
 val of_string : string -> t

@@ -1,0 +1,53 @@
+(** First-class planning algorithms.
+
+    A solver packages one scheduling algorithm behind a uniform
+    interface: a stable [name] (the CLI string), a capability
+    predicate, and the solving function itself.  All built-in
+    algorithms are registered here at load time; {!Pipeline} registers
+    ["auto"] on top and {!Migration.plan} is a thin shim over the
+    registry, so the set of planners is extensible without touching
+    the dispatch sites. *)
+
+(** Per-call context threaded through every solver.  Carries the RNG
+    today; anything else a solver may need later (deadlines, budgets)
+    belongs here rather than in ad-hoc optional arguments. *)
+type ctx = { rng : Random.State.t option }
+
+type t = {
+  name : string;  (** registry key and CLI spelling, e.g. ["hetero"] *)
+  doc : string;   (** one-line description for listings *)
+  can_solve : Instance.t -> bool;
+      (** capability predicate — e.g. ["even-opt"] requires all-even
+          constraints.  [solve] on an unsupported instance may raise. *)
+  solve : ctx -> Instance.t -> Schedule.t;
+}
+
+(** [register s] adds [s] to the registry, replacing any previous
+    solver of the same name. *)
+val register : t -> unit
+
+val find : string -> t option
+
+(** All registered solvers, in registration order. *)
+val all : unit -> t list
+
+val names : unit -> string list
+
+(** [solve ?rng s inst] is [s.solve { rng } inst] — the convenience
+    entry point. *)
+val solve : ?rng:Random.State.t -> t -> Instance.t -> Schedule.t
+
+(** {1 Built-ins}
+
+    Registered at load time; exposed directly so callers (notably
+    {!Pipeline}'s per-component selection) need no registry lookup. *)
+
+val even_opt : t  (** Section IV, optimal; requires all-even caps *)
+
+val hetero : t    (** Section V general algorithm *)
+
+val saia : t      (** Saia split 1.5-approximation baseline *)
+
+val greedy : t    (** first-fit baseline *)
+
+val orbits : t    (** Section V-C1 via explicit orbit structures *)

@@ -1,3 +1,8 @@
+(* Dinic-level observability: one "phase" per BFS level graph, one
+   "augmenting path" per saturating DFS probe inside a blocking flow. *)
+let c_phases = Probes.counter "flow.bfs_phases"
+let c_paths = Probes.counter "flow.augmenting_paths"
+
 let bfs_levels net ~s ~t =
   let n = Flow_network.n_nodes net in
   let level = Array.make n (-1) in
@@ -49,6 +54,7 @@ let blocking_flow net ~s ~t level =
   let rec loop () =
     let got = dfs s max_int in
     if got > 0 then begin
+      Probes.bump c_paths;
       total := !total + got;
       loop ()
     end
@@ -63,7 +69,9 @@ let max_flow net ~s ~t =
   while !continue do
     match bfs_levels net ~s ~t with
     | None -> continue := false
-    | Some level -> total := !total + blocking_flow net ~s ~t level
+    | Some level ->
+        Probes.bump c_phases;
+        total := !total + blocking_flow net ~s ~t level
   done;
   !total
 

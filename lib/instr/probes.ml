@@ -1,0 +1,129 @@
+type counter = { c_name : string; mutable count : int }
+
+type timer = { t_name : string; mutable total_s : float; mutable spans : int }
+
+(* Registries keep insertion handles so cells survive reset; the hot
+   path never touches these tables. *)
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; count = 0 } in
+      Hashtbl.add counters name c;
+      c
+
+let bump ?(by = 1) c = c.count <- c.count + by
+let counter_value c = c.count
+
+let timer name =
+  match Hashtbl.find_opt timers name with
+  | Some t -> t
+  | None ->
+      let t = { t_name = name; total_s = 0.0; spans = 0 } in
+      Hashtbl.add timers name t;
+      t
+
+let record t seconds =
+  t.total_s <- t.total_s +. seconds;
+  t.spans <- t.spans + 1
+
+let time t f =
+  let t0 = Sys.time () in
+  Fun.protect ~finally:(fun () -> record t (Sys.time () -. t0)) f
+
+type span = { total_s : float; count : int }
+
+type snapshot = {
+  counters : (string * int) list;
+  timers : (string * span) list;
+}
+
+let reset () =
+  Hashtbl.iter (fun _ (c : counter) -> c.count <- 0) counters;
+  Hashtbl.iter
+    (fun _ (t : timer) ->
+      t.total_s <- 0.0;
+      t.spans <- 0)
+    timers
+
+let snapshot () =
+  let cs =
+    Hashtbl.fold
+      (fun name (c : counter) acc -> (name, c.count) :: acc)
+      counters []
+    |> List.sort compare
+  in
+  let ts =
+    Hashtbl.fold
+      (fun name (t : timer) acc ->
+        (name, { total_s = t.total_s; count = t.spans }) :: acc)
+      timers []
+    |> List.sort compare
+  in
+  { counters = cs; timers = ts }
+
+(* Names are ["subsystem.event"] identifiers — no quotes, backslashes
+   or control characters — but escape defensively anyway. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json snap =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{";
+  let first = ref true in
+  let field name render =
+    if not !first then Buffer.add_string buf ", ";
+    first := false;
+    Buffer.add_string buf (Printf.sprintf "\"%s\": " (json_escape name));
+    render ()
+  in
+  List.iter
+    (fun (name, v) -> field name (fun () -> Buffer.add_string buf (string_of_int v)))
+    snap.counters;
+  field "phase_timings" (fun () ->
+      Buffer.add_string buf "{";
+      List.iteri
+        (fun i (name, sp) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\": %.6f" (json_escape name) sp.total_s))
+        snap.timers;
+      Buffer.add_string buf "}");
+  field "phase_counts" (fun () ->
+      Buffer.add_string buf "{";
+      List.iteri
+        (fun i (name, sp) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\": %d" (json_escape name) sp.count))
+        snap.timers;
+      Buffer.add_string buf "}");
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
+let pp_table ppf snap =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "%-36s %12s@," "counter" "value";
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-36s %12d@," name v)
+    snap.counters;
+  Format.fprintf ppf "@,%-36s %12s %8s@," "phase" "seconds" "spans";
+  List.iter
+    (fun (name, sp) ->
+      Format.fprintf ppf "%-36s %12.6f %8d@," name sp.total_s sp.count)
+    snap.timers;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,64 @@
+(** Structured instrumentation: process-wide counters and timers.
+
+    This is the metrics spine of the planner pipeline.  It sits below
+    every algorithmic library (flow, coloring, core) so that hot loops
+    can record events without depending on [Migration]; the core
+    re-exports it as [Migration.Instr].
+
+    Design constraints:
+
+    - {b cheap}: a counter is a named [int ref]; bumping it is a
+      single store.  Cells are created once (at module initialization
+      of the instrumented code) and looked up never again, so the hot
+      path carries no hashing.
+    - {b always-on}: there is no enable flag to thread through APIs.
+      Callers that want a per-run view call {!reset} first and
+      {!snapshot} after.
+    - {b stable schema}: a registered cell survives {!reset} (only its
+      value is zeroed), so a snapshot always contains every metric the
+      linked program can produce — absent activity reads as [0], not
+      as a missing key. *)
+
+type counter
+type timer
+
+(** [counter name] registers (or retrieves) the counter cell [name].
+    Counter and timer names share one namespace by convention
+    ["<subsystem>.<event>"], e.g. ["flow.augmenting_paths"]. *)
+val counter : string -> counter
+
+val bump : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+(** [timer name] registers (or retrieves) the timer cell [name].
+    Timers accumulate wall-clock spans: total seconds and span
+    count. *)
+val timer : string -> timer
+
+(** [time t f] runs [f ()] and adds its duration to [t].  Exceptions
+    propagate; the span up to the raise is still recorded. *)
+val time : timer -> (unit -> 'a) -> 'a
+
+(** [record t seconds] adds an externally-measured span. *)
+val record : timer -> float -> unit
+
+type span = { total_s : float; count : int }
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  timers : (string * span) list;   (** sorted by name *)
+}
+
+(** Zero every registered cell (registrations persist). *)
+val reset : unit -> unit
+
+val snapshot : unit -> snapshot
+
+(** Flat JSON object: one key per counter (integer value) plus a
+    ["phase_timings"] sub-object mapping timer names to total seconds
+    (and ["phase_counts"] with span counts).  Self-contained — no JSON
+    library involved. *)
+val to_json : snapshot -> string
+
+(** Human-readable two-column table. *)
+val pp_table : Format.formatter -> snapshot -> unit

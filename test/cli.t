@@ -34,6 +34,9 @@ CLI end-to-end: generate an instance, inspect bounds, plan, validate.
   hetero            4    1.00x         0.56
   saia              4    1.00x         0.56
   greedy            4    1.00x         0.56
+  
+  pipeline auto: 4 rounds over 1 component(s)
+    component 0: 5 disks, 9 items -> hetero (4 rounds)
   $ migrate plan -q --save sched.txt fig1.txt
   algorithm:   auto
   rounds:      4
@@ -57,6 +60,54 @@ CLI end-to-end: generate an instance, inspect bounds, plan, validate.
   lower bound: 4
   utilization: 0.50
 
+Pipeline per-component selection: an all-even pool and an odd-cap pool
+with no transfers between them get different planners.
+
+  $ cat > two_pools.txt <<EOF
+  > 10 15
+  > 2 2 2 2 2 3 1 3 1 3
+  > 0 1
+  > 0 1
+  > 1 2
+  > 2 3
+  > 3 4
+  > 4 0
+  > 0 2
+  > 1 3
+  > 5 6
+  > 6 7
+  > 7 8
+  > 8 9
+  > 9 5
+  > 5 7
+  > 6 8
+  > EOF
+  $ migrate compare two_pools.txt
+  10 disks, 15 items, lower bound 3
+  
+  algorithm    rounds    vs LB  utilization
+  even-opt        n/a
+  hetero            3    1.00x         0.48
+  saia              3    1.00x         0.48
+  greedy            3    1.00x         0.48
+  
+  pipeline auto: 3 rounds over 2 component(s)
+    component 0: 5 disks, 8 items -> even-opt (2 rounds)
+    component 1: 5 disks, 7 items -> hetero (3 rounds)
+
+Structured metrics: timings vary run to run, so check the stable key
+set rather than values.
+
+  $ migrate plan -q --metrics-json two_pools.txt | tr ',{' '\n\n' \
+  >   | grep -oE '"(phase_timings|flow.augmenting_paths|recolor.kempe_flips|pipeline.components|hetero.phase2_edges)"' | sort -u
+  "flow.augmenting_paths"
+  "hetero.phase2_edges"
+  "phase_timings"
+  "pipeline.components"
+  "recolor.kempe_flips"
+  $ migrate plan -q --metrics two_pools.txt | grep -cE "^pipeline\.(decompose|solve|merge) "
+  3
+
 Error handling:
 
   $ migrate plan -a nope fig1.txt 2>&1 | head -2
@@ -64,6 +115,10 @@ Error handling:
            (auto|even-opt|hetero|saia|greedy|orbits)
   $ echo "bad" | migrate bounds - 2>&1; echo "exit: $?"
   error: not a valid instance: Instance.of_string: missing header
+  exit: 2
+  $ printf '99 98\n' >> sched.txt
+  $ migrate check fig1.txt sched.txt 2>&1; echo "exit: $?"
+  error: not a valid schedule: Schedule.of_string: trailing garbage after round 4: "99 98"
   exit: 2
 
 Analysis:

@@ -34,6 +34,7 @@ let golden =
     ("hetero_medium.inst", 32, 9, 32);
     ("powerlaw.inst", 45, 14, 45);
     ("clustered.inst", 47, 23, 47);
+    ("two_pools.inst", 3, 2, 3);
   ]
 
 let test_golden (file, lb1, gamma, rounds) () =
