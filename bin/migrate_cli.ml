@@ -100,24 +100,49 @@ let report_metrics ~metrics ~metrics_json =
 (* ------------------------------------------------------------------ *)
 (* generate *)
 
-let generate kind n m caps seed =
-  let rng = rng_of_seed seed in
-  let g =
-    match kind with
-    | "gnm" -> Mgraph.Graph_gen.gnm rng ~n ~m
-    | "power-law" -> Mgraph.Graph_gen.power_law rng ~n ~m
-    | "clustered" ->
-        let k = max 2 (n / 8) in
-        Mgraph.Graph_gen.clustered rng ~k ~size:(max 2 (n / k))
-          ~intra:(m / (k + 1)) ~inter:(m / (k + 1))
-    | "triangle" -> Mgraph.Graph_gen.triangle_stack (max 1 (m / 3))
-    | "fig1" -> Mgraph.Graph_gen.example_fig1 ()
-    | other ->
-        Printf.eprintf "unknown kind %S\n" other;
-        exit 2
+let resolve_family name =
+  match Gen.family_of_string name with
+  | Some f -> f
+  | None ->
+      Printf.eprintf "unknown family %S (%s)\n" name
+        (String.concat "|" Gen.names);
+      exit 2
+
+let generate kind family size n m caps seed =
+  let inst =
+    match family with
+    | Some name -> Gen.instance (resolve_family name) ~seed ~size
+    | None ->
+        let rng = rng_of_seed seed in
+        let g =
+          match kind with
+          | "gnm" -> Mgraph.Graph_gen.gnm rng ~n ~m
+          | "power-law" -> Mgraph.Graph_gen.power_law rng ~n ~m
+          | "clustered" ->
+              let k = max 2 (n / 8) in
+              Mgraph.Graph_gen.clustered rng ~k ~size:(max 2 (n / k))
+                ~intra:(m / (k + 1)) ~inter:(m / (k + 1))
+          | "triangle" -> Mgraph.Graph_gen.triangle_stack (max 1 (m / 3))
+          | "fig1" -> Mgraph.Graph_gen.example_fig1 ()
+          | other ->
+              Printf.eprintf "unknown kind %S\n" other;
+              exit 2
+        in
+        Migration.Instance.random_caps rng g ~choices:caps
   in
-  let inst = Migration.Instance.random_caps rng g ~choices:caps in
   print_string (Migration.Instance.to_string inst)
+
+let size_arg =
+  let doc = "Size parameter of a fuzz family (scales disks and items)." in
+  Arg.(value & opt int 12 & info [ "size" ] ~docv:"SIZE" ~doc)
+
+let family_arg =
+  let doc =
+    "Fuzz-family generator (uniform, powerlaw, even, unit, parallel, \
+     bottleneck, multipool); overrides $(b,--kind).  The (family, seed, \
+     size) triple reproduces the exact instance a fuzz failure names."
+  in
+  Arg.(value & opt (some string) None & info [ "family" ] ~docv:"FAMILY" ~doc)
 
 let generate_cmd =
   let kind =
@@ -138,7 +163,8 @@ let generate_cmd =
   in
   let doc = "Generate a random migration instance." in
   Cmd.v (Cmd.info "generate" ~doc)
-    Term.(const generate $ kind $ n $ m $ caps $ seed_arg)
+    Term.(
+      const generate $ kind $ family_arg $ size_arg $ n $ m $ caps $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bounds *)
@@ -409,6 +435,105 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze $ instance_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz *)
+
+let fuzz families count seed size regress_dir metrics metrics_json =
+  let families =
+    match families with
+    | [] -> Gen.all
+    | names -> List.map resolve_family names
+  in
+  Migration.Instr.reset ();
+  let report = Gen.Fuzz.run ~size ~families ~count ~seed () in
+  Printf.printf "fuzz: %d families x %d instances, size %d, seed %d\n\n"
+    (List.length families) count size seed;
+  Printf.printf "%-12s %-12s %5s %5s %8s  %s\n" "family" "solver" "runs" "ok"
+    "max-gap" "gap histogram";
+  List.iter
+    (fun (fr : Gen.Fuzz.family_report) ->
+      List.iter
+        (fun (s : Gen.Fuzz.solver_stats) ->
+          Printf.printf "%-12s %-12s %5d %5d %8d  %s\n"
+            fr.Gen.Fuzz.family s.Gen.Fuzz.solver s.Gen.Fuzz.runs
+            s.Gen.Fuzz.certified s.Gen.Fuzz.max_gap
+            (String.concat " "
+               (List.map
+                  (fun (g, c) -> Printf.sprintf "%d:%d" g c)
+                  s.Gen.Fuzz.gaps)))
+        fr.Gen.Fuzz.per_solver)
+    report.Gen.Fuzz.family_reports;
+  Printf.printf "\ntotal: %d instances, %d solver runs, %d failures\n"
+    report.Gen.Fuzz.total_instances report.Gen.Fuzz.total_runs
+    (List.length report.Gen.Fuzz.failures);
+  let regress_dir =
+    match regress_dir with
+    | Some d -> if Sys.file_exists d then Some d else None
+    | None -> if Sys.file_exists "data/regressions" then Some "data/regressions" else None
+  in
+  List.iter
+    (fun (f : Gen.Fuzz.failure) ->
+      Printf.printf
+        "\nFAILURE family=%s seed=%d size=%d solver=%s\n"
+        f.Gen.Fuzz.family f.Gen.Fuzz.seed f.Gen.Fuzz.size f.Gen.Fuzz.solver;
+      List.iter (fun m -> Printf.printf "  - %s\n" m) f.Gen.Fuzz.messages;
+      Printf.printf
+        "  reproduce: migrate generate --family %s --seed %d --size %d | \
+         migrate plan -a %s -\n"
+        f.Gen.Fuzz.family f.Gen.Fuzz.seed f.Gen.Fuzz.size f.Gen.Fuzz.solver;
+      let shrunk = f.Gen.Fuzz.shrunk in
+      Printf.printf "  shrunk reproducer (%d disks, %d items):\n"
+        (Migration.Instance.n_disks shrunk)
+        (Migration.Instance.n_items shrunk);
+      String.split_on_char '\n' (Migration.Instance.to_string shrunk)
+      |> List.iter (fun line ->
+             if line <> "" then Printf.printf "    %s\n" line);
+      match regress_dir with
+      | None -> ()
+      | Some dir ->
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "%s_s%d_%s.inst" f.Gen.Fuzz.family
+                 f.Gen.Fuzz.seed f.Gen.Fuzz.solver)
+          in
+          let oc = open_out path in
+          output_string oc (Migration.Instance.to_string shrunk);
+          close_out oc;
+          Printf.printf "  written to %s\n" path)
+    report.Gen.Fuzz.failures;
+  report_metrics ~metrics ~metrics_json;
+  if report.Gen.Fuzz.failures <> [] then exit 1
+
+let fuzz_cmd =
+  let families =
+    let doc =
+      "Comma-separated families to fuzz (default: all of uniform, powerlaw, \
+       even, unit, parallel, bottleneck, multipool)."
+    in
+    Arg.(value & opt (list string) [] & info [ "families" ] ~docv:"F1,F2,..." ~doc)
+  in
+  let count =
+    let doc = "Instances per family." in
+    Arg.(value & opt int 20 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let regress =
+    let doc =
+      "Directory for shrunk failing reproducers (default: data/regressions \
+       when it exists; the regression corpus test_corpus.ml replays it)."
+    in
+    Arg.(value & opt (some string) None & info [ "regress-dir" ] ~docv:"DIR" ~doc)
+  in
+  let doc =
+    "Differential fuzz loop: generate seeded instances per family, run every \
+     applicable planner through the pipeline, certify each schedule \
+     independently, cross-check against the exact solver, and shrink any \
+     failure to a minimal reproducer."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const fuzz $ families $ count $ seed_arg $ size_arg $ regress
+      $ metrics_arg $ metrics_json_arg)
+
+(* ------------------------------------------------------------------ *)
 (* dot *)
 
 let dot path =
@@ -429,5 +554,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; bounds_cmd; plan_cmd; compare_cmd; simulate_cmd;
-            exact_cmd; forward_cmd; check_cmd; dot_cmd; analyze_cmd;
+            exact_cmd; forward_cmd; check_cmd; dot_cmd; analyze_cmd; fuzz_cmd;
           ]))

@@ -1,0 +1,135 @@
+module Multigraph = Mgraph.Multigraph
+
+type violation =
+  | Missing_item of { item : int }
+  | Duplicate_item of { item : int; first_round : int; round : int }
+  | Unknown_item of { item : int; round : int }
+  | Overload of { round : int; disk : int; load : int; cap : int }
+  | Beats_lower_bound of { rounds : int; lb : int }
+  | Guarantee_broken of {
+      solver : string;
+      guarantee : string;
+      rounds : int;
+      bound : int;
+    }
+
+type verdict = {
+  solver : string option;
+  rounds : int;
+  lb : int;
+  violations : violation list;
+}
+
+let ok v = v.violations = []
+
+let hetero_budget lb =
+  int_of_float (ceil (2.0 *. sqrt (float_of_int lb))) + 2
+
+let guarantee ?lb solver inst =
+  let lb () =
+    match lb with Some lb -> lb | None -> Lower_bounds.lower_bound inst
+  in
+  match solver with
+  | "even-opt" when Instance.all_caps_even inst ->
+      let lb1 = Lower_bounds.lb1 inst in
+      Some (Printf.sprintf "= LB1 = %d (Theorem 4.1)" lb1, lb1, fun r -> r = lb1)
+  | "saia" ->
+      let b = Saia.round_bound inst in
+      Some
+        (Printf.sprintf "<= floor(3*split-degree/2) = %d" b, b, fun r -> r <= b)
+  | "hetero" | "orbits" | "auto" ->
+      (* the O(sqrt OPT) budget is audited against the certified
+         combined bound max(LB1, Γ): a valid lower bound on OPT, so
+         the audited inequality is implied by the paper's *)
+      let lb = lb () in
+      let b = lb + hetero_budget lb in
+      Some
+        (Printf.sprintf "<= lb + 2*sqrt(lb) + 2 = %d" b, b, fun r -> r <= b)
+  | _ -> None
+
+let check ?rng ?lb ?solver inst sched =
+  let n = Instance.n_disks inst and m = Instance.n_items inst in
+  let g = Instance.graph inst in
+  let rounds = Schedule.rounds sched in
+  let n_rounds = Array.length rounds in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  (* scheduled exactly once, only real ids *)
+  let seen_in = Array.make m (-1) in
+  Array.iteri
+    (fun r items ->
+      List.iter
+        (fun e ->
+          if e < 0 || e >= m then add (Unknown_item { item = e; round = r })
+          else if seen_in.(e) >= 0 then
+            add (Duplicate_item { item = e; first_round = seen_in.(e); round = r })
+          else seen_in.(e) <- r)
+        items)
+    rounds;
+  for e = 0 to m - 1 do
+    if seen_in.(e) < 0 then add (Missing_item { item = e })
+  done;
+  (* per-round per-disk load, counted endpoint by endpoint *)
+  let load = Array.make n 0 in
+  Array.iteri
+    (fun r items ->
+      List.iter
+        (fun e ->
+          if e >= 0 && e < m then begin
+            let u, v = Multigraph.endpoints g e in
+            load.(u) <- load.(u) + 1;
+            if v <> u then load.(v) <- load.(v) + 1
+          end)
+        items;
+      for disk = 0 to n - 1 do
+        if load.(disk) > Instance.cap inst disk then
+          add
+            (Overload { round = r; disk; load = load.(disk); cap = Instance.cap inst disk });
+        load.(disk) <- 0
+      done)
+    rounds;
+  (* round count vs the certified lower bound *)
+  let lb =
+    match lb with Some lb -> lb | None -> Lower_bounds.lower_bound ?rng inst
+  in
+  if n_rounds < lb then add (Beats_lower_bound { rounds = n_rounds; lb });
+  (* the producing solver's stated guarantee *)
+  (match solver with
+  | None -> ()
+  | Some name -> (
+      match guarantee ~lb name inst with
+      | None -> ()
+      | Some (stmt, bound, holds) ->
+          if not (holds n_rounds) then
+            add
+              (Guarantee_broken
+                 { solver = name; guarantee = stmt; rounds = n_rounds; bound })));
+  { solver; rounds = n_rounds; lb; violations = List.rev !violations }
+
+let violation_to_string = function
+  | Missing_item { item } -> Printf.sprintf "item %d never scheduled" item
+  | Duplicate_item { item; first_round; round } ->
+      Printf.sprintf "item %d scheduled twice (rounds %d and %d)" item
+        first_round round
+  | Unknown_item { item; round } ->
+      Printf.sprintf "round %d schedules unknown item %d" round item
+  | Overload { round; disk; load; cap } ->
+      Printf.sprintf "round %d overloads disk %d: %d transfers > c_v = %d"
+        round disk load cap
+  | Beats_lower_bound { rounds; lb } ->
+      Printf.sprintf "%d rounds beat the certified lower bound %d" rounds lb
+  | Guarantee_broken { solver; guarantee; rounds; _ } ->
+      Printf.sprintf "%s broke its guarantee %s with %d rounds" solver
+        guarantee rounds
+
+let pp ppf v =
+  match v.violations with
+  | [] ->
+      Format.fprintf ppf "certified: %d rounds (lower bound %d)" v.rounds v.lb
+  | vs ->
+      Format.fprintf ppf "@[<v>REJECTED: %d rounds (lower bound %d)"
+        v.rounds v.lb;
+      List.iter
+        (fun x -> Format.fprintf ppf "@,  - %s" (violation_to_string x))
+        vs;
+      Format.fprintf ppf "@]"

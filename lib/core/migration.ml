@@ -24,6 +24,8 @@ module Deadline = Deadline
 module Solver = Solver
 module Pipeline = Pipeline
 module Instr = Instr
+module Certify = Certify
+module Shrink = Shrink
 
 (** Planner selection. *)
 type algorithm =

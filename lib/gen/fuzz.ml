@@ -1,0 +1,272 @@
+module M = Migration
+
+type failure = {
+  family : string;
+  seed : int;
+  size : int;
+  solver : string;
+  messages : string list;
+  instance : M.Instance.t;
+  shrunk : M.Instance.t;
+}
+
+type solver_stats = {
+  solver : string;
+  runs : int;
+  certified : int;
+  max_gap : int;
+  gaps : (int * int) list;
+}
+
+type family_report = {
+  family : string;
+  instances : int;
+  per_solver : solver_stats list;
+}
+
+type report = {
+  family_reports : family_report list;
+  total_instances : int;
+  total_runs : int;
+  failures : failure list;
+}
+
+let derived_seed ~base ~index = (base * 1000) + index
+
+(* instrumentation cells; per-solver cells register on first use *)
+let c_instances = M.Instr.counter "fuzz.instances"
+let c_runs = M.Instr.counter "fuzz.runs"
+let c_violations = M.Instr.counter "fuzz.violations"
+let solve_timer name = M.Instr.timer ("fuzz.solve." ^ name)
+let gap_counter name = M.Instr.counter ("fuzz.gap." ^ name)
+
+let run_rng seed name = Random.State.make [| seed; Hashtbl.hash name; 0xf0 |]
+
+(* Deterministic solver run through the pipeline; [None] when the
+   solver is unknown or cannot solve this instance. *)
+let run_solver name ~seed inst =
+  match M.Solver.find name with
+  | None -> None
+  | Some s ->
+      if not (s.M.Solver.can_solve inst) then None
+      else
+        let rng = run_rng seed name in
+        Some
+          (M.Instr.time (solve_timer name) (fun () ->
+               match M.Pipeline.plan_report ~rng name inst with
+               | Some (sched, _) -> sched
+               | None -> assert false))
+
+let lb_of ~seed inst =
+  M.Lower_bounds.lower_bound ~rng:(run_rng seed "lb") inst
+
+let exact_opt ~budget ~max_items inst =
+  if M.Instance.n_items inst > max_items || M.Instance.n_disks inst > 10 then
+    None
+  else
+    match M.Exact.solve ~node_budget:budget inst with
+    | M.Exact.Optimal sched -> Some sched
+    | M.Exact.Gave_up -> None
+
+(* The deterministic re-checks shrinking minimizes against.  Each
+   returns true when the instance still exhibits the failure. *)
+let fails_certification name ~seed inst' =
+  match run_solver name ~seed inst' with
+  | None -> false
+  | Some sched ->
+      let lb = lb_of ~seed inst' in
+      not (M.Certify.ok (M.Certify.check ~lb ~solver:name inst' sched))
+
+let fails_beating_exact name ~seed ~budget ~max_items inst' =
+  match run_solver name ~seed inst' with
+  | None -> false
+  | Some sched -> (
+      match exact_opt ~budget ~max_items inst' with
+      | None -> false
+      | Some opt ->
+          M.Schedule.n_rounds sched < M.Schedule.n_rounds opt)
+
+let fails_forwarding ~seed inst' =
+  let rng = run_rng seed "forwarding" in
+  match M.Forwarding.plan_with_helpers ~rng inst' with
+  | exception _ -> true
+  | plan, stats ->
+      M.Forwarding.validate inst' plan <> Ok ()
+      || stats.M.Forwarding.rounds > stats.M.Forwarding.direct_rounds
+
+let shrink ~fails inst =
+  if fails inst then M.Shrink.minimize ~fails inst else inst
+
+(* ------------------------------------------------------------------ *)
+
+type tally = {
+  mutable t_runs : int;
+  mutable t_certified : int;
+  mutable t_gaps : (int, int) Hashtbl.t;
+}
+
+let tally_gap t gap =
+  t.t_runs <- t.t_runs + 1;
+  let h = t.t_gaps in
+  Hashtbl.replace h gap (1 + Option.value ~default:0 (Hashtbl.find_opt h gap))
+
+let stats_of_tally solver t =
+  let gaps =
+    Hashtbl.fold (fun g c acc -> (g, c) :: acc) t.t_gaps []
+    |> List.sort compare
+  in
+  {
+    solver;
+    runs = t.t_runs;
+    certified = t.t_certified;
+    max_gap = List.fold_left (fun acc (g, _) -> max acc g) 0 gaps;
+    gaps;
+  }
+
+let run ?(size = 12) ?solvers ?(exact_budget = 300_000) ?(exact_max_items = 10)
+    ~families ~count ~seed () =
+  let solver_list =
+    match solvers with
+    | Some l -> l
+    | None -> M.Solver.names () @ [ "forwarding" ]
+  in
+  let failures = ref [] in
+  let total_instances = ref 0 and total_runs = ref 0 in
+  let fail ~family ~iseed ~solver ~messages ~instance ~shrunk =
+    M.Instr.bump c_violations;
+    failures :=
+      { family; seed = iseed; size; solver; messages; instance; shrunk }
+      :: !failures
+  in
+  let family_reports =
+    List.map
+      (fun fam ->
+        let name = fam.Families.name in
+        let tallies = Hashtbl.create 8 in
+        let tally s =
+          match Hashtbl.find_opt tallies s with
+          | Some t -> t
+          | None ->
+              let t =
+                { t_runs = 0; t_certified = 0; t_gaps = Hashtbl.create 8 }
+              in
+              Hashtbl.add tallies s t;
+              t
+        in
+        for index = 0 to count - 1 do
+          let iseed = derived_seed ~base:seed ~index in
+          let inst = Families.instance fam ~seed:iseed ~size in
+          M.Instr.bump c_instances;
+          incr total_instances;
+          let lb = lb_of ~seed:iseed inst in
+          let opt =
+            exact_opt ~budget:exact_budget ~max_items:exact_max_items inst
+          in
+          (* the proven optimum is itself a schedule under audit *)
+          (match opt with
+          | Some sched ->
+              let v = M.Certify.check ~lb inst sched in
+              if not (M.Certify.ok v) then
+                fail ~family:name ~iseed ~solver:"exact"
+                  ~messages:
+                    (List.map M.Certify.violation_to_string
+                       v.M.Certify.violations)
+                  ~instance:inst ~shrunk:inst
+          | None -> ());
+          List.iter
+            (fun sname ->
+              if sname = "forwarding" then begin
+                let rng = run_rng iseed "forwarding" in
+                match M.Forwarding.plan_with_helpers ~rng inst with
+                | exception e ->
+                    fail ~family:name ~iseed ~solver:"forwarding"
+                      ~messages:
+                        [ "raised " ^ Printexc.to_string e ]
+                      ~instance:inst
+                      ~shrunk:(shrink ~fails:(fails_forwarding ~seed:iseed) inst)
+                | plan, stats ->
+                    M.Instr.bump c_runs;
+                    incr total_runs;
+                    let t = tally "forwarding" in
+                    let rounds = stats.M.Forwarding.rounds in
+                    tally_gap t (max 0 (rounds - lb));
+                    let bad_validate =
+                      match M.Forwarding.validate inst plan with
+                      | Ok () -> None
+                      | Error msg -> Some ("plan invalid: " ^ msg)
+                    in
+                    let bad_rounds =
+                      if rounds > stats.M.Forwarding.direct_rounds then
+                        Some
+                          (Printf.sprintf
+                             "forwarding used %d rounds > %d direct" rounds
+                             stats.M.Forwarding.direct_rounds)
+                      else None
+                    in
+                    (match List.filter_map Fun.id [ bad_validate; bad_rounds ] with
+                    | [] -> t.t_certified <- t.t_certified + 1
+                    | messages ->
+                        fail ~family:name ~iseed ~solver:"forwarding" ~messages
+                          ~instance:inst
+                          ~shrunk:
+                            (shrink ~fails:(fails_forwarding ~seed:iseed) inst))
+              end
+              else
+                match run_solver sname ~seed:iseed inst with
+                | None -> ()
+                | Some sched ->
+                    M.Instr.bump c_runs;
+                    incr total_runs;
+                    let t = tally sname in
+                    let rounds = M.Schedule.n_rounds sched in
+                    let gap = max 0 (rounds - lb) in
+                    tally_gap t gap;
+                    M.Instr.bump ~by:gap (gap_counter sname);
+                    let v = M.Certify.check ~lb ~solver:sname inst sched in
+                    if not (M.Certify.ok v) then
+                      fail ~family:name ~iseed ~solver:sname
+                        ~messages:
+                          (List.map M.Certify.violation_to_string
+                             v.M.Certify.violations)
+                        ~instance:inst
+                        ~shrunk:
+                          (shrink
+                             ~fails:(fails_certification sname ~seed:iseed)
+                             inst)
+                    else begin
+                      (match opt with
+                      | Some o when rounds < M.Schedule.n_rounds o ->
+                          fail ~family:name ~iseed ~solver:sname
+                            ~messages:
+                              [
+                                Printf.sprintf
+                                  "beat the proven optimum: %d rounds < OPT = %d"
+                                  rounds (M.Schedule.n_rounds o);
+                              ]
+                            ~instance:inst
+                            ~shrunk:
+                              (shrink
+                                 ~fails:
+                                   (fails_beating_exact sname ~seed:iseed
+                                      ~budget:exact_budget
+                                      ~max_items:exact_max_items)
+                                 inst)
+                      | _ -> t.t_certified <- t.t_certified + 1)
+                    end)
+            solver_list
+        done;
+        let per_solver =
+          List.filter_map
+            (fun s ->
+              Option.map (stats_of_tally s) (Hashtbl.find_opt tallies s))
+            solver_list
+        in
+        { family = name; instances = count; per_solver })
+      families
+  in
+  {
+    family_reports;
+    total_instances = !total_instances;
+    total_runs = !total_runs;
+    failures = List.rev !failures;
+  }

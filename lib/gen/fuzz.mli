@@ -1,0 +1,80 @@
+(** The differential fuzz loop.
+
+    For every generated instance, run each applicable registered
+    solver through {!Migration.Pipeline}, certify the result with
+    {!Migration.Certify} (independent re-check plus the solver's
+    stated guarantee), and cross-check solvers against each other:
+
+    - on small instances, {!Migration.Exact} provides ground truth —
+      no solver may use fewer rounds than the proven optimum, and the
+      optimum itself must certify;
+    - ["even-opt"] must tie [LB1] exactly on all-even instances (part
+      of its certified guarantee);
+    - the forwarding planner must validate and never use more rounds
+      than the direct schedule it starts from.
+
+    A failing case is shrunk with {!Migration.Shrink} against the same
+    deterministic check, so the reported reproducer is locally minimal
+    and regenerable from its [(family, seed, size)] triple.
+
+    Instrumentation ({!Migration.Instr}): per-solver wall time under
+    ["fuzz.solve.<solver>"], instance/run/violation counters under
+    ["fuzz.*"], and the per-solver certified-gap totals under
+    ["fuzz.gap.<solver>"]. *)
+
+type failure = {
+  family : string;
+  seed : int;  (** derived per-instance seed: regenerate with
+                   [Families.instance ~seed ~size] *)
+  size : int;
+  solver : string;
+  messages : string list;  (** rendered violations, first one primary *)
+  instance : Migration.Instance.t;
+  shrunk : Migration.Instance.t;
+}
+
+(** Gap histogram of one solver over one family; [gap] is
+    [rounds - lb], the certified optimality gap. *)
+type solver_stats = {
+  solver : string;
+  runs : int;
+  certified : int;
+  max_gap : int;
+  gaps : (int * int) list;  (** (gap, occurrences), ascending by gap *)
+}
+
+type family_report = {
+  family : string;
+  instances : int;
+  per_solver : solver_stats list;  (** registry order, applicable only *)
+}
+
+type report = {
+  family_reports : family_report list;
+  total_instances : int;
+  total_runs : int;
+  failures : failure list;
+}
+
+(** [derived_seed ~base ~index] is the per-instance seed the loop uses
+    — exposed so a printed reproducer can also be regenerated through
+    the CLI's [generate --family]. *)
+val derived_seed : base:int -> index:int -> int
+
+(** [run ~families ~count ~seed ()] fuzzes [count] instances per
+    family.  [size] (default 12) scales the instances;
+    [solvers] (default: every registered solver) restricts the
+    differential set; [exact_budget] (default [300_000] nodes) bounds
+    the ground-truth search, which only runs on instances with at most
+    [exact_max_items] (default 10) items.  Deterministic for fixed
+    arguments. *)
+val run :
+  ?size:int ->
+  ?solvers:string list ->
+  ?exact_budget:int ->
+  ?exact_max_items:int ->
+  families:Families.family list ->
+  count:int ->
+  seed:int ->
+  unit ->
+  report

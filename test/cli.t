@@ -144,6 +144,56 @@ Traces and sweeps:
   disk   5 c=2 |###|
   wall time: 9.0
 
+Differential fuzzing: seeded families, every applicable planner,
+independent certification, deterministic report.
+
+  $ migrate fuzz --families even,powerlaw --count 5 --seed 7
+  fuzz: 2 families x 5 instances, size 12, seed 7
+  
+  family       solver        runs    ok  max-gap  gap histogram
+  even         even-opt         5     5        0  0:5
+  even         hetero           5     5        0  0:5
+  even         saia             5     5        0  0:5
+  even         greedy           5     5        0  0:5
+  even         orbits           5     5        0  0:5
+  even         auto             5     5        0  0:5
+  even         forwarding       5     5        0  0:5
+  powerlaw     hetero           5     5        0  0:5
+  powerlaw     saia             5     5        0  0:5
+  powerlaw     greedy           5     5        0  0:5
+  powerlaw     orbits           5     5        0  0:5
+  powerlaw     auto             5     5        0  0:5
+  powerlaw     forwarding       5     5        0  0:5
+  
+  total: 10 instances, 65 solver runs, 0 failures
+
+  $ migrate fuzz --families nope --count 1 2>&1; echo "exit: $?"
+  unknown family "nope" (uniform|powerlaw|even|unit|parallel|bottleneck|multipool)
+  exit: 2
+
+A fuzz-family reproducer triple (family, seed, size) regenerates the
+exact instance; the bottleneck family makes the subset bound bind.
+
+  $ migrate generate --family bottleneck --seed 3 --size 8
+  5 8
+  1 1 1 4 8
+  0 1
+  0 1
+  0 2
+  0 2
+  1 2
+  1 2
+  0 3
+  1 4
+  $ migrate generate --family bottleneck --seed 3 --size 8 | migrate analyze -
+  disks:            5 (1 components)
+  items:            8 (max multiplicity 2)
+  degrees:          n=5 mean=3.20±2.05 min=1.00 p50=4.00 p95=5.00 max=5.00
+  degree ratios:    n=5 mean=3.20±2.05 min=1.00 p50=4.00 p95=5.00 max=5.00
+  constraints:      c=1 x3, c=4 x1, c=8 x1
+  LB1 / Γ:          5 / 6 (Γ binds)
+  suggested:        hetero ((1+o(1))-approximation)
+
 Lab sweeps produce deterministic CSV:
 
   $ ../bin/migrate_lab.exe --out . speedup >/dev/null

@@ -8,20 +8,36 @@ module M = Migration
 open Test_util
 
 let corpus_dir =
-  (* dune runs tests from the build sandbox; data/ is a source dep *)
-  List.find_opt Sys.file_exists
-    [ "data/instances"; "../data/instances"; "../../data/instances" ]
-  |> function
+  (* dune runs tests from the build sandbox; data/ is a source dep.
+     CORPUS_DIR overrides the search so the same binary also replays a
+     corpus from a CLI checkout (e.g. fuzz reproducers just written). *)
+  let candidates =
+    (match Sys.getenv_opt "CORPUS_DIR" with Some d -> [ d ] | None -> [])
+    @ [ "data/instances"; "../data/instances"; "../../data/instances" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
   | Some d -> d
   | None -> Alcotest.fail "corpus directory not found"
 
-let load name =
-  let path = Filename.concat corpus_dir name in
+(* the fuzz harness writes shrunk failing reproducers next to the
+   curated corpus; every file that shows up there is replayed here *)
+let regressions_dir = Filename.concat (Filename.dirname corpus_dir) "regressions"
+
+let load_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       M.Instance.of_string (really_input_string ic (in_channel_length ic)))
+
+let load name = load_file (Filename.concat corpus_dir name)
+
+let regression_files =
+  if Sys.file_exists regressions_dir && Sys.is_directory regressions_dir then
+    Sys.readdir regressions_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".inst")
+    |> List.sort compare
+  else []
 
 (* per instance: (file, expected lb1, expected gamma, expected rounds
    achievable by the general planner) *)
@@ -64,6 +80,29 @@ let test_all_algorithms_on_corpus () =
         M.all_algorithms)
     golden
 
+(* a regression instance once broke some planner: re-run every
+   registered solver through the pipeline and certify independently *)
+let test_regression file () =
+  let inst = load_file (Filename.concat regressions_dir file) in
+  let lb = M.Lower_bounds.lower_bound ~rng:(rng_of_int 1) inst in
+  List.iter
+    (fun name ->
+      match M.Solver.find name with
+      | None -> ()
+      | Some s ->
+          if s.M.Solver.can_solve inst then begin
+            match M.Pipeline.plan_report ~rng:(rng_of_int 2) name inst with
+            | None -> ()
+            | Some (sched, _) ->
+                let v = M.Certify.check ~lb ~solver:name inst sched in
+                if not (M.Certify.ok v) then
+                  Alcotest.failf "%s with %s: %s" file name
+                    (String.concat "; "
+                       (List.map M.Certify.violation_to_string
+                          v.M.Certify.violations))
+          end)
+    (M.Solver.names ())
+
 let test_corpus_roundtrips () =
   List.iter
     (fun (file, _, _, _) ->
@@ -88,4 +127,8 @@ let () =
           Alcotest.test_case "serialization roundtrips" `Quick
             test_corpus_roundtrips;
         ] );
+      ( "regressions",
+        List.map
+          (fun file -> Alcotest.test_case file `Quick (test_regression file))
+          regression_files );
     ]
