@@ -1084,6 +1084,79 @@ let e25_metrics () =
     (M.Schedule.n_rounds sched) report.M.Pipeline.components;
   Format.printf "%a@." M.Instr.pp_table (M.Instr.snapshot ())
 
+(* ------------------------------------------------------------------ *)
+(* E26 (CLI key "e9"): parallel scaling of the component pipeline      *)
+
+let wall_clock f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+(* [components] disjoint G(n,m) blocks in one instance: the pipeline
+   decomposes them back and solves each on its own worker domain. *)
+let parallel_instance ~components ~n ~m =
+  let g = Multigraph.create ~n:(components * n) () in
+  for c = 0 to components - 1 do
+    let gc = Mgraph.Graph_gen.gnm (rng_of (900 + c)) ~n ~m in
+    Multigraph.iter_edges gc (fun { Multigraph.u; v; _ } ->
+        ignore (Multigraph.add_edge g ((c * n) + u) ((c * n) + v)))
+  done;
+  M.Instance.random_caps (rng_of 899) g ~choices:[ 1; 2; 3; 5 ]
+
+(* stashed by e9 for the --json writer *)
+let parallel_detail :
+    ((int * float) list * int * int * int) option ref =
+  ref None
+
+let e9_parallel () =
+  header "E9 [parallel]  domain-parallel pipeline scaling";
+  let components = 8 and n = 64 and m = 4000 in
+  let inst = parallel_instance ~components ~n ~m in
+  let solve jobs =
+    M.Pipeline.solve ~rng:(rng_of 901) ~jobs ~choose:M.Pipeline.auto_choose
+      inst
+  in
+  (* warm up allocators and code paths before timing *)
+  ignore (solve 1);
+  let runs =
+    List.map
+      (fun jobs ->
+        let (sched, report), t = wall_clock (fun () -> solve jobs) in
+        (jobs, sched, report, t))
+      [ 1; 2; 4 ]
+  in
+  let base_sched, base_t =
+    match runs with
+    | (1, s, _, t) :: _ -> (M.Schedule.to_string s, t)
+    | _ -> assert false
+  in
+  List.iter
+    (fun (jobs, sched, _, _) ->
+      fail_invalid inst sched "e9 parallel";
+      if M.Schedule.to_string sched <> base_sched then
+        failwith
+          (Printf.sprintf "e9: schedule at --jobs %d differs from --jobs 1"
+             jobs))
+    runs;
+  let rounds, comps =
+    match runs with
+    | (_, s, r, _) :: _ -> (M.Schedule.n_rounds s, r.M.Pipeline.components)
+    | _ -> assert false
+  in
+  let lb = M.Lower_bounds.lower_bound ~rng:(rng_of 902) inst in
+  Printf.printf
+    "%d components x (n=%d, m=%d); %d rounds, lower bound %d\n\
+     schedules bit-identical across jobs; recommended domains here: %d\n\n"
+    components n m rounds lb
+    (Exec.default_jobs ());
+  Printf.printf "%6s %10s %9s\n" "jobs" "wall (s)" "speedup";
+  List.iter
+    (fun (jobs, _, _, t) ->
+      Printf.printf "%6d %10.3f %8.2fx\n" jobs t (base_t /. t))
+    runs;
+  parallel_detail :=
+    Some (List.map (fun (j, _, _, t) -> (j, t)) runs, rounds, lb, comps)
+
 let experiments =
   [
     ("fig1", e1_fig1);
@@ -1112,20 +1185,71 @@ let experiments =
     ("protocol", e23_protocol);
     ("deadline", e24_deadline);
     ("metrics", e25_metrics);
+    ("e9", e9_parallel);
   ]
 
+(* --json: the perf-regression baseline.  Handwritten like
+   Instr.to_json — the tree has no JSON dependency. *)
+let write_json ~path timings =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": \"pr3\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domains\": %d,\n" (Exec.default_jobs ()));
+  Buffer.add_string buf "  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"name\": %S, \"wall_s\": %.6f }%s\n" name t
+           (if i = List.length timings - 1 then "" else ",")))
+    timings;
+  Buffer.add_string buf "  ]";
+  (match !parallel_detail with
+  | None -> ()
+  | Some (runs, rounds, lb, components) ->
+      Buffer.add_string buf ",\n  \"parallel\": {\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    \"components\": %d,\n    \"rounds\": %d,\n    \
+            \"lower_bound\": %d,\n"
+           components rounds lb);
+      Buffer.add_string buf "    \"runs\": [\n";
+      let base_t = match runs with (1, t) :: _ -> t | _ -> 1.0 in
+      List.iteri
+        (fun i (jobs, t) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      { \"jobs\": %d, \"wall_s\": %.6f, \"speedup\": %.3f }%s\n"
+               jobs t (base_t /. t)
+               (if i = List.length runs - 1 then "" else ",")))
+        runs;
+      Buffer.add_string buf "    ],\n";
+      Buffer.add_string buf "    \"identical_schedules\": true\n";
+      Buffer.add_string buf "  }");
+  Buffer.add_string buf "\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let names = List.filter (fun a -> a <> "--json") args in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match names with [] -> List.map fst experiments | l -> l
   in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name experiments with
-      | Some f -> f ()
-      | None ->
-          Printf.eprintf "unknown experiment %S; available: %s\n" name
-            (String.concat " " (List.map fst experiments));
-          exit 2)
-    requested
+  let timings =
+    List.map
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f ->
+            let (), t = wall_clock f in
+            (name, t)
+        | None ->
+            Printf.eprintf "unknown experiment %S; available: %s\n" name
+              (String.concat " " (List.map fst experiments));
+            exit 2)
+      requested
+  in
+  if json then write_json ~path:"BENCH_pr3.json" timings

@@ -58,6 +58,17 @@ let seed_arg =
   let doc = "Random seed (reproducible runs)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel solving (default: the machine's \
+     recommended domain count).  Output is bit-identical for every \
+     value; 1 runs fully sequential with no domains spawned."
+  in
+  Arg.(
+    value
+    & opt int (Exec.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let instance_arg =
   let doc = "Instance file ('-' for stdin)." in
   Arg.(value & pos 0 string "-" & info [] ~docv:"INSTANCE" ~doc)
@@ -185,12 +196,12 @@ let bounds_cmd =
 (* ------------------------------------------------------------------ *)
 (* plan *)
 
-let plan path alg seed quiet save metrics metrics_json verbose =
+let plan path alg seed jobs quiet save metrics metrics_json verbose =
   setup_logs verbose;
   let inst = read_instance path in
   let rng = rng_of_seed seed in
   Migration.Instr.reset ();
-  let sched = Migration.plan ~rng alg inst in
+  let sched = Migration.plan ~rng ~jobs alg inst in
   (match Migration.Schedule.validate inst sched with
   | Ok () -> ()
   | Error msg ->
@@ -224,8 +235,8 @@ let plan_cmd =
   let doc = "Compute a migration schedule for an instance." in
   Cmd.v (Cmd.info "plan" ~doc)
     Term.(
-      const plan $ instance_arg $ algorithm_arg $ seed_arg $ quiet $ save
-      $ metrics_arg $ metrics_json_arg $ verbose_arg)
+      const plan $ instance_arg $ algorithm_arg $ seed_arg $ jobs_arg $ quiet
+      $ save $ metrics_arg $ metrics_json_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare *)
@@ -437,14 +448,37 @@ let analyze_cmd =
 (* ------------------------------------------------------------------ *)
 (* fuzz *)
 
-let fuzz families count seed size regress_dir metrics metrics_json =
+(* --inject-broken: a deliberately invalid planner (rounds 0 and 1
+   collapsed), used by the test suite to prove the fuzz loop's exit
+   code stays non-zero when the violating cell runs on a worker
+   domain. *)
+let broken_solver =
+  {
+    Migration.Solver.name = "broken";
+    doc = "hetero with rounds 0 and 1 collapsed (deliberately invalid)";
+    can_solve = (fun _ -> true);
+    solve =
+      (fun ctx inst ->
+        let sched = Migration.Solver.hetero.Migration.Solver.solve ctx inst in
+        let rounds = Migration.Schedule.rounds sched in
+        if Array.length rounds < 2 then sched
+        else
+          Migration.Schedule.of_rounds
+            (Array.append
+               [| rounds.(0) @ rounds.(1) |]
+               (Array.sub rounds 2 (Array.length rounds - 2))));
+  }
+
+let fuzz families count seed size jobs inject_broken regress_dir metrics
+    metrics_json =
   let families =
     match families with
     | [] -> Gen.all
     | names -> List.map resolve_family names
   in
+  if inject_broken then Migration.Solver.register broken_solver;
   Migration.Instr.reset ();
-  let report = Gen.Fuzz.run ~size ~families ~count ~seed () in
+  let report = Gen.Fuzz.run ~size ~jobs ~families ~count ~seed () in
   Printf.printf "fuzz: %d families x %d instances, size %d, seed %d\n\n"
     (List.length families) count size seed;
   Printf.printf "%-12s %-12s %5s %5s %8s  %s\n" "family" "solver" "runs" "ok"
@@ -528,10 +562,17 @@ let fuzz_cmd =
      independently, cross-check against the exact solver, and shrink any \
      failure to a minimal reproducer."
   in
+  let inject_broken =
+    let doc =
+      "Also register a deliberately broken planner (testing hook: \
+       exercises failure reporting and the non-zero exit code)."
+    in
+    Arg.(value & flag & info [ "inject-broken" ] ~doc)
+  in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
-      const fuzz $ families $ count $ seed_arg $ size_arg $ regress
-      $ metrics_arg $ metrics_json_arg)
+      const fuzz $ families $ count $ seed_arg $ size_arg $ jobs_arg
+      $ inject_broken $ regress $ metrics_arg $ metrics_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dot *)

@@ -78,4 +78,5 @@ let solver_of_algorithm = function
 
     Thin compatibility shim over the {!Solver} registry: new code
     should resolve a {!Solver.t} (or call {!Pipeline.solve}) directly. *)
-let plan ?rng alg inst = Solver.solve ?rng (solver_of_algorithm alg) inst
+let plan ?rng ?jobs alg inst =
+  Solver.solve ?rng ?jobs (solver_of_algorithm alg) inst

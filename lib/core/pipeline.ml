@@ -26,7 +26,7 @@ let selection_of ~component ~solver inst sched =
     rounds = Schedule.n_rounds sched;
   }
 
-let solve ?rng ~choose inst =
+let solve ?rng ?(jobs = 1) ~choose inst =
   let comps = Instr.time t_decompose (fun () -> Instance.decompose inst) in
   Instr.bump ~by:(List.length comps) c_components;
   let active =
@@ -48,17 +48,33 @@ let solve ?rng ~choose inst =
           selections = [ selection_of ~component:i ~solver:s.Solver.name inst sched ];
         } )
   | _ ->
-      let parts =
+      (* Determinism contract: every component gets an independent RNG
+         whose seed is drawn from the caller's [rng] in component
+         order, before any solving.  Component solves then share no
+         mutable state, so the result is bit-identical whatever [jobs]
+         is and however the domains interleave. *)
+      let tagged =
         List.map
           (fun (i, c) ->
-            let ci = c.Instance.instance in
-            let s = choose ci in
-            let sched =
-              Instr.time t_solve (fun () -> Solver.solve ?rng s ci)
+            let comp_rng =
+              Option.map
+                (fun r -> Random.State.make [| Random.State.bits r; i; 0xc09e |])
+                rng
             in
-            ( (sched, c.Instance.edges),
-              selection_of ~component:i ~solver:s.Solver.name ci sched ))
+            (i, c, comp_rng))
           active
+      in
+      let solve_one (i, c, comp_rng) =
+        let ci = c.Instance.instance in
+        let s = choose ci in
+        let sched = Solver.solve ?rng:comp_rng s ci in
+        ( (sched, c.Instance.edges),
+          selection_of ~component:i ~solver:s.Solver.name ci sched )
+      in
+      let parts =
+        Instr.time t_solve (fun () ->
+            if jobs <= 1 then List.map solve_one tagged
+            else Exec.with_pool ~jobs (fun pool -> Exec.map ~pool solve_one tagged))
       in
       let selections = List.map snd parts in
       (match selections with
@@ -82,14 +98,17 @@ let auto =
        elsewhere";
     can_solve = (fun _ -> true);
     solve =
-      (fun ctx inst -> fst (solve ?rng:ctx.Solver.rng ~choose:auto_choose inst));
+      (fun ctx inst ->
+        fst
+          (solve ?rng:ctx.Solver.rng ~jobs:ctx.Solver.jobs ~choose:auto_choose
+             inst));
   }
 
 let () = Solver.register auto
 
-let plan_report ?rng name inst =
+let plan_report ?rng ?jobs name inst =
   match name with
-  | "auto" -> Some (solve ?rng ~choose:auto_choose inst)
+  | "auto" -> Some (solve ?rng ?jobs ~choose:auto_choose inst)
   | _ ->
       Solver.find name
-      |> Option.map (fun s -> solve ?rng ~choose:(fun _ -> s) inst)
+      |> Option.map (fun s -> solve ?rng ?jobs ~choose:(fun _ -> s) inst)

@@ -30,13 +30,25 @@ type report = {
       (** one entry per component with at least one item *)
 }
 
-(** [solve ?rng ~choose inst] runs the full pipeline, picking
+(** [solve ?rng ?jobs ~choose inst] runs the full pipeline, picking
     [choose component_instance] for every non-empty component.  A
     connected instance (single non-empty component) is solved
     monolithically on [inst] itself — bit-for-bit the same behavior
-    (and RNG consumption) as calling the chosen solver directly. *)
+    (and RNG consumption) as calling the chosen solver directly.
+
+    [jobs] (default [1]) is the worker-domain budget: with [jobs > 1]
+    a multi-component instance solves its components on an {!Exec}
+    pool.  {b Determinism contract}: the schedule and report are
+    bit-identical for every [jobs] value, because each component's
+    RNG seed is drawn from [rng] in component order before any
+    solving, component solves share no state, and the merge consumes
+    results in submission order.  [jobs <= 1] never touches the pool
+    (no domains are spawned).  [choose] may run on worker domains
+    when [jobs > 1], so it should be a pure function of the component
+    instance. *)
 val solve :
   ?rng:Random.State.t ->
+  ?jobs:int ->
   choose:(Instance.t -> Solver.t) ->
   Instance.t ->
   Schedule.t * report
@@ -56,6 +68,7 @@ val auto : Solver.t
     the name is unknown. *)
 val plan_report :
   ?rng:Random.State.t ->
+  ?jobs:int ->
   string ->
   Instance.t ->
   (Schedule.t * report) option

@@ -1,4 +1,4 @@
-type ctx = { rng : Random.State.t option }
+type ctx = { rng : Random.State.t option; jobs : int }
 
 type t = {
   name : string;
@@ -17,7 +17,7 @@ let register s =
 let find name = List.find_opt (fun s -> s.name = name) !registry
 let all () = !registry
 let names () = List.map (fun s -> s.name) !registry
-let solve ?rng s inst = s.solve { rng } inst
+let solve ?rng ?(jobs = 1) s inst = s.solve { rng; jobs } inst
 
 (* ------------------------------------------------------------------ *)
 (* built-ins *)

@@ -9,9 +9,17 @@
     the dispatch sites. *)
 
 (** Per-call context threaded through every solver.  Carries the RNG
-    today; anything else a solver may need later (deadlines, budgets)
-    belongs here rather than in ad-hoc optional arguments. *)
-type ctx = { rng : Random.State.t option }
+    and the worker-domain budget today; anything else a solver may
+    need later (deadlines, budgets) belongs here rather than in
+    ad-hoc optional arguments. *)
+type ctx = {
+  rng : Random.State.t option;
+  jobs : int;
+      (** worker domains a composite solver (the pipeline) may use;
+          [1] means fully sequential.  Monolithic solvers ignore it.
+          Never changes the produced schedule — see
+          {!Pipeline.solve}'s determinism contract. *)
+}
 
 type t = {
   name : string;  (** registry key and CLI spelling, e.g. ["hetero"] *)
@@ -33,9 +41,10 @@ val all : unit -> t list
 
 val names : unit -> string list
 
-(** [solve ?rng s inst] is [s.solve { rng } inst] — the convenience
-    entry point. *)
-val solve : ?rng:Random.State.t -> t -> Instance.t -> Schedule.t
+(** [solve ?rng ?jobs s inst] is [s.solve { rng; jobs } inst] — the
+    convenience entry point.  [jobs] defaults to [1] (sequential). *)
+val solve :
+  ?rng:Random.State.t -> ?jobs:int -> t -> Instance.t -> Schedule.t
 
 (** {1 Built-ins}
 

@@ -1,0 +1,157 @@
+(* Fixed worker pool over stdlib Domain.
+
+   Work sharing, not stealing deques: a map call splits its input into
+   contiguous chunks and pushes closures onto one mutex-protected
+   queue; idle workers pull ("steal") chunks until the queue drains.
+   Each chunk writes only its own slice of a preallocated result
+   array, so result assembly needs no synchronization beyond batch
+   completion — and submission order is trivially preserved. *)
+
+let c_tasks = Probes.counter "exec.tasks"
+let c_chunks = Probes.counter "exec.chunks"
+
+type pool = {
+  n_workers : int;
+  mutable domains : unit Domain.t array;
+  tasks : (unit -> unit) Queue.t;  (* closures never raise *)
+  mu : Mutex.t;
+  cond : Condition.t;  (* "queue non-empty or stopping" *)
+  mutable stopped : bool;
+  busy : float array;  (* per-worker busy seconds; single writer each *)
+  busy_timers : Probes.timer array;  (* exec.domain<i>.busy, one writer each *)
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+let jobs p = p.n_workers
+let busy_times p = Array.copy p.busy
+
+let rec worker_loop p w =
+  Mutex.lock p.mu;
+  let rec next () =
+    if not (Queue.is_empty p.tasks) then Some (Queue.pop p.tasks)
+    else if p.stopped then None
+    else begin
+      Condition.wait p.cond p.mu;
+      next ()
+    end
+  in
+  match next () with
+  | None -> Mutex.unlock p.mu
+  | Some task ->
+      Mutex.unlock p.mu;
+      let t0 = Unix.gettimeofday () in
+      task ();
+      let dt = Unix.gettimeofday () -. t0 in
+      p.busy.(w) <- p.busy.(w) +. dt;
+      Probes.record p.busy_timers.(w) dt;
+      worker_loop p w
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Exec.create: jobs must be >= 1";
+  let workers = if jobs > 1 then jobs else 0 in
+  let p =
+    {
+      n_workers = jobs;
+      domains = [||];
+      tasks = Queue.create ();
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      stopped = false;
+      busy = Array.make workers 0.0;
+      busy_timers =
+        (* registered here, on the caller domain: workers only ever
+           Probes.record into their own preexisting cell *)
+        Array.init workers (fun w ->
+            Probes.timer (Printf.sprintf "exec.domain%d.busy" w));
+    }
+  in
+  if workers > 0 then
+    p.domains <- Array.init workers (fun w -> Domain.spawn (fun () -> worker_loop p w));
+  p
+
+let shutdown p =
+  Mutex.lock p.mu;
+  if p.stopped then Mutex.unlock p.mu
+  else begin
+    p.stopped <- true;
+    Condition.broadcast p.cond;
+    Mutex.unlock p.mu;
+    Array.iter Domain.join p.domains;
+    p.domains <- [||]
+  end
+
+let with_pool ~jobs f =
+  let p = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+
+(* One parallel batch.  [results] slots are written exactly once, each
+   by exactly one chunk; the batch mutex only guards the completion
+   count. *)
+let parallel_map p f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    Probes.bump ~by:n c_tasks;
+    let results = Array.make n None in
+    let chunk = max 1 (n / (p.n_workers * 4)) in
+    let n_chunks = (n + chunk - 1) / chunk in
+    Probes.bump ~by:n_chunks c_chunks;
+    let bmu = Mutex.create () in
+    let bcond = Condition.create () in
+    let remaining = ref n_chunks in
+    let run_chunk lo () =
+      let hi = min n (lo + chunk) in
+      for i = lo to hi - 1 do
+        results.(i) <-
+          Some
+            (match f arr.(i) with
+            | v -> Ok v
+            | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+      done;
+      Mutex.lock bmu;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast bcond;
+      Mutex.unlock bmu
+    in
+    Mutex.lock p.mu;
+    let lo = ref 0 in
+    while !lo < n do
+      Queue.add (run_chunk !lo) p.tasks;
+      lo := !lo + chunk
+    done;
+    Condition.broadcast p.cond;
+    Mutex.unlock p.mu;
+    Mutex.lock bmu;
+    while !remaining > 0 do
+      Condition.wait bcond bmu
+    done;
+    Mutex.unlock bmu;
+    (* deterministic failure choice: first failing element in
+       submission order, regardless of which chunk ran first *)
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | _ -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error _) | None -> assert false)
+         results)
+  end
+
+let map ?pool f xs =
+  match pool with
+  | None -> List.map f xs
+  | Some p ->
+      let sequential =
+        p.n_workers <= 1
+        ||
+        (Mutex.lock p.mu;
+         let s = p.stopped in
+         Mutex.unlock p.mu;
+         s)
+      in
+      if sequential then List.map f xs else parallel_map p f xs

@@ -52,10 +52,9 @@ let run_solver name ~seed inst =
       else
         let rng = run_rng seed name in
         Some
-          (M.Instr.time (solve_timer name) (fun () ->
-               match M.Pipeline.plan_report ~rng name inst with
-               | Some (sched, _) -> sched
-               | None -> assert false))
+          (match M.Pipeline.plan_report ~rng name inst with
+          | Some (sched, _) -> sched
+          | None -> assert false)
 
 let lb_of ~seed inst =
   M.Lower_bounds.lower_bound ~rng:(run_rng seed "lb") inst
@@ -123,13 +122,183 @@ let stats_of_tally solver t =
     gaps;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Parallel evaluation plan.
+
+   The loop splits into three stages so that the expensive work — the
+   solver runs — parallelizes at (instance x solver) granularity while
+   the report stays byte-identical for every [jobs] value:
+
+   1. per instance (parallel): generate, lower-bound, exact ground
+      truth;
+   2. per (instance x solver) cell (parallel): run the solver, certify,
+      cross-check — pure w.r.t. shared state, all RNGs derived from
+      the cell's own seed;
+   3. merge (sequential, submission order): tallies, failure list, and
+      Instr accounting — then shrink each failure, also sequentially,
+      so delta-debugging replays identically run to run. *)
+
+(* which deterministic re-check the (sequential) shrinker replays *)
+type shrink_kind = Shrink_cert | Shrink_beats_exact | Shrink_forwarding
+
+type cell_outcome = {
+  co_solver : string;
+  co_ran : bool;  (* false: solver inapplicable — no tally *)
+  co_gap : int;   (* meaningful when co_ran *)
+  co_elapsed : float;  (* solve seconds, recorded under fuzz.solve.* *)
+  co_messages : string list;  (* nonempty iff the cell failed *)
+  co_shrink : shrink_kind option;
+}
+
+type inst_eval = {
+  ie_seed : int;
+  ie_inst : M.Instance.t;
+  ie_lb : int;
+  ie_opt : M.Schedule.t option;
+  ie_exact_messages : string list;  (* the optimum itself under audit *)
+}
+
+let cell ~solver messages =
+  {
+    co_solver = solver;
+    co_ran = true;
+    co_gap = 0;
+    co_elapsed = 0.0;
+    co_messages = messages;
+    co_shrink = None;
+  }
+
+let eval_instance ~family ~size ~iseed ~budget ~max_items () =
+  let inst = Families.instance family ~seed:iseed ~size in
+  let lb = lb_of ~seed:iseed inst in
+  let opt = exact_opt ~budget ~max_items inst in
+  let exact_messages =
+    match opt with
+    | None -> []
+    | Some sched ->
+        let v = M.Certify.check ~lb inst sched in
+        if M.Certify.ok v then []
+        else List.map M.Certify.violation_to_string v.M.Certify.violations
+  in
+  { ie_seed = iseed; ie_inst = inst; ie_lb = lb; ie_opt = opt;
+    ie_exact_messages = exact_messages }
+
+let eval_cell ~sname ie =
+  let inst = ie.ie_inst and lb = ie.ie_lb and iseed = ie.ie_seed in
+  if sname = "forwarding" then begin
+    let rng = run_rng iseed "forwarding" in
+    match M.Forwarding.plan_with_helpers ~rng inst with
+    | exception e ->
+        {
+          (cell ~solver:"forwarding" [ "raised " ^ Printexc.to_string e ]) with
+          co_ran = false;
+          co_shrink = Some Shrink_forwarding;
+        }
+    | plan, stats ->
+        let rounds = stats.M.Forwarding.rounds in
+        let bad_validate =
+          match M.Forwarding.validate inst plan with
+          | Ok () -> None
+          | Error msg -> Some ("plan invalid: " ^ msg)
+        in
+        let bad_rounds =
+          if rounds > stats.M.Forwarding.direct_rounds then
+            Some
+              (Printf.sprintf "forwarding used %d rounds > %d direct" rounds
+                 stats.M.Forwarding.direct_rounds)
+          else None
+        in
+        let messages = List.filter_map Fun.id [ bad_validate; bad_rounds ] in
+        {
+          (cell ~solver:"forwarding" messages) with
+          co_gap = max 0 (rounds - lb);
+          co_shrink = (if messages = [] then None else Some Shrink_forwarding);
+        }
+  end
+  else
+    let t0 = Unix.gettimeofday () in
+    match run_solver sname ~seed:iseed inst with
+    | None -> { (cell ~solver:sname []) with co_ran = false }
+    | Some sched ->
+        let elapsed = Unix.gettimeofday () -. t0 in
+        let rounds = M.Schedule.n_rounds sched in
+        let gap = max 0 (rounds - lb) in
+        let v = M.Certify.check ~lb ~solver:sname inst sched in
+        if not (M.Certify.ok v) then
+          {
+            (cell ~solver:sname
+               (List.map M.Certify.violation_to_string v.M.Certify.violations))
+            with
+            co_gap = gap;
+            co_elapsed = elapsed;
+            co_shrink = Some Shrink_cert;
+          }
+        else
+          let beats =
+            match ie.ie_opt with
+            | Some o when rounds < M.Schedule.n_rounds o ->
+                Some
+                  (Printf.sprintf "beat the proven optimum: %d rounds < OPT = %d"
+                     rounds (M.Schedule.n_rounds o))
+            | _ -> None
+          in
+          {
+            (cell ~solver:sname (Option.to_list beats)) with
+            co_gap = gap;
+            co_elapsed = elapsed;
+            co_shrink =
+              (if beats = None then None else Some Shrink_beats_exact);
+          }
+
 let run ?(size = 12) ?solvers ?(exact_budget = 300_000) ?(exact_max_items = 10)
-    ~families ~count ~seed () =
+    ?(jobs = 1) ~families ~count ~seed () =
   let solver_list =
     match solvers with
     | Some l -> l
     | None -> M.Solver.names () @ [ "forwarding" ]
   in
+  let pool = if jobs > 1 then Some (Exec.create ~jobs) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Exec.shutdown pool)
+  @@ fun () ->
+  (* stage 1: instances (parallel, submission order preserved) *)
+  let inst_specs =
+    List.concat_map
+      (fun fam -> List.init count (fun index -> (fam, index)))
+      families
+  in
+  let evals =
+    Exec.map ?pool
+      (fun (fam, index) ->
+        eval_instance ~family:fam ~size
+          ~iseed:(derived_seed ~base:seed ~index)
+          ~budget:exact_budget ~max_items:exact_max_items ())
+      inst_specs
+  in
+  let eval_tbl = Hashtbl.create 64 in
+  List.iter2
+    (fun (fam, index) ie -> Hashtbl.add eval_tbl (fam.Families.name, index) ie)
+    inst_specs evals;
+  (* stage 2: (instance x solver) cells (parallel) *)
+  let cell_specs =
+    List.concat_map
+      (fun (fam, index) ->
+        List.map (fun sname -> (fam, index, sname)) solver_list)
+      inst_specs
+  in
+  let cells =
+    Exec.map ?pool
+      (fun (fam, index, sname) ->
+        eval_cell ~sname (Hashtbl.find eval_tbl (fam.Families.name, index)))
+      cell_specs
+  in
+  let cell_tbl = Hashtbl.create 256 in
+  List.iter2
+    (fun (fam, index, sname) co ->
+      Hashtbl.add cell_tbl (fam.Families.name, index, sname) co)
+    cell_specs cells;
+  (* stage 3: sequential merge in (family, index, solver) order — the
+     exact traversal the all-sequential loop used, so reports are
+     byte-identical at every [jobs]; shrinking stays sequential too *)
   let failures = ref [] in
   let total_instances = ref 0 and total_runs = ref 0 in
   let fail ~family ~iseed ~solver ~messages ~instance ~shrunk =
@@ -137,6 +306,21 @@ let run ?(size = 12) ?solvers ?(exact_budget = 300_000) ?(exact_max_items = 10)
     failures :=
       { family; seed = iseed; size; solver; messages; instance; shrunk }
       :: !failures
+  in
+  let shrinker_of kind ~sname ~iseed =
+    match kind with
+    | None -> fun inst -> inst
+    | Some Shrink_cert ->
+        fun inst -> shrink ~fails:(fails_certification sname ~seed:iseed) inst
+    | Some Shrink_beats_exact ->
+        fun inst ->
+          shrink
+            ~fails:
+              (fails_beating_exact sname ~seed:iseed ~budget:exact_budget
+                 ~max_items:exact_max_items)
+            inst
+    | Some Shrink_forwarding ->
+        fun inst -> shrink ~fails:(fails_forwarding ~seed:iseed) inst
   in
   let family_reports =
     List.map
@@ -154,105 +338,32 @@ let run ?(size = 12) ?solvers ?(exact_budget = 300_000) ?(exact_max_items = 10)
               t
         in
         for index = 0 to count - 1 do
-          let iseed = derived_seed ~base:seed ~index in
-          let inst = Families.instance fam ~seed:iseed ~size in
+          let ie = Hashtbl.find eval_tbl (name, index) in
+          let iseed = ie.ie_seed and inst = ie.ie_inst in
           M.Instr.bump c_instances;
           incr total_instances;
-          let lb = lb_of ~seed:iseed inst in
-          let opt =
-            exact_opt ~budget:exact_budget ~max_items:exact_max_items inst
-          in
-          (* the proven optimum is itself a schedule under audit *)
-          (match opt with
-          | Some sched ->
-              let v = M.Certify.check ~lb inst sched in
-              if not (M.Certify.ok v) then
-                fail ~family:name ~iseed ~solver:"exact"
-                  ~messages:
-                    (List.map M.Certify.violation_to_string
-                       v.M.Certify.violations)
-                  ~instance:inst ~shrunk:inst
-          | None -> ());
+          if ie.ie_exact_messages <> [] then
+            fail ~family:name ~iseed ~solver:"exact"
+              ~messages:ie.ie_exact_messages ~instance:inst ~shrunk:inst;
           List.iter
             (fun sname ->
-              if sname = "forwarding" then begin
-                let rng = run_rng iseed "forwarding" in
-                match M.Forwarding.plan_with_helpers ~rng inst with
-                | exception e ->
-                    fail ~family:name ~iseed ~solver:"forwarding"
-                      ~messages:
-                        [ "raised " ^ Printexc.to_string e ]
-                      ~instance:inst
-                      ~shrunk:(shrink ~fails:(fails_forwarding ~seed:iseed) inst)
-                | plan, stats ->
-                    M.Instr.bump c_runs;
-                    incr total_runs;
-                    let t = tally "forwarding" in
-                    let rounds = stats.M.Forwarding.rounds in
-                    tally_gap t (max 0 (rounds - lb));
-                    let bad_validate =
-                      match M.Forwarding.validate inst plan with
-                      | Ok () -> None
-                      | Error msg -> Some ("plan invalid: " ^ msg)
-                    in
-                    let bad_rounds =
-                      if rounds > stats.M.Forwarding.direct_rounds then
-                        Some
-                          (Printf.sprintf
-                             "forwarding used %d rounds > %d direct" rounds
-                             stats.M.Forwarding.direct_rounds)
-                      else None
-                    in
-                    (match List.filter_map Fun.id [ bad_validate; bad_rounds ] with
-                    | [] -> t.t_certified <- t.t_certified + 1
-                    | messages ->
-                        fail ~family:name ~iseed ~solver:"forwarding" ~messages
-                          ~instance:inst
-                          ~shrunk:
-                            (shrink ~fails:(fails_forwarding ~seed:iseed) inst))
-              end
-              else
-                match run_solver sname ~seed:iseed inst with
-                | None -> ()
-                | Some sched ->
-                    M.Instr.bump c_runs;
-                    incr total_runs;
-                    let t = tally sname in
-                    let rounds = M.Schedule.n_rounds sched in
-                    let gap = max 0 (rounds - lb) in
-                    tally_gap t gap;
-                    M.Instr.bump ~by:gap (gap_counter sname);
-                    let v = M.Certify.check ~lb ~solver:sname inst sched in
-                    if not (M.Certify.ok v) then
-                      fail ~family:name ~iseed ~solver:sname
-                        ~messages:
-                          (List.map M.Certify.violation_to_string
-                             v.M.Certify.violations)
-                        ~instance:inst
-                        ~shrunk:
-                          (shrink
-                             ~fails:(fails_certification sname ~seed:iseed)
-                             inst)
-                    else begin
-                      (match opt with
-                      | Some o when rounds < M.Schedule.n_rounds o ->
-                          fail ~family:name ~iseed ~solver:sname
-                            ~messages:
-                              [
-                                Printf.sprintf
-                                  "beat the proven optimum: %d rounds < OPT = %d"
-                                  rounds (M.Schedule.n_rounds o);
-                              ]
-                            ~instance:inst
-                            ~shrunk:
-                              (shrink
-                                 ~fails:
-                                   (fails_beating_exact sname ~seed:iseed
-                                      ~budget:exact_budget
-                                      ~max_items:exact_max_items)
-                                 inst)
-                      | _ -> t.t_certified <- t.t_certified + 1)
-                    end)
+              let co = Hashtbl.find cell_tbl (name, index, sname) in
+              if co.co_ran then begin
+                M.Instr.bump c_runs;
+                incr total_runs;
+                let t = tally sname in
+                tally_gap t co.co_gap;
+                if sname <> "forwarding" then begin
+                  M.Instr.bump ~by:co.co_gap (gap_counter sname);
+                  M.Instr.record (solve_timer sname) co.co_elapsed
+                end;
+                if co.co_messages = [] then
+                  t.t_certified <- t.t_certified + 1
+              end;
+              if co.co_messages <> [] then
+                fail ~family:name ~iseed ~solver:sname
+                  ~messages:co.co_messages ~instance:inst
+                  ~shrunk:(shrinker_of co.co_shrink ~sname ~iseed inst))
             solver_list
         done;
         let per_solver =

@@ -66,13 +66,23 @@ val derived_seed : base:int -> index:int -> int
     [solvers] (default: every registered solver) restricts the
     differential set; [exact_budget] (default [300_000] nodes) bounds
     the ground-truth search, which only runs on instances with at most
-    [exact_max_items] (default 10) items.  Deterministic for fixed
-    arguments. *)
+    [exact_max_items] (default 10) items.
+
+    [jobs] (default [1]) sets the {!Exec} worker-domain budget:
+    instance generation and the (instance x solver) cells run on the
+    pool, while the failure merge and the shrinker stay sequential.
+    {b Determinism contract}: the report is byte-identical for every
+    [jobs] value — every cell derives its RNGs from its own
+    [(seed, solver)] pair, cells share no mutable state, and tallies,
+    failure ordering, and {!Migration.Instr} accounting happen in the
+    sequential merge in the same (family, index, solver) order the
+    all-sequential loop used.  Deterministic for fixed arguments. *)
 val run :
   ?size:int ->
   ?solvers:string list ->
   ?exact_budget:int ->
   ?exact_max_items:int ->
+  ?jobs:int ->
   families:Families.family list ->
   count:int ->
   seed:int ->

@@ -171,6 +171,40 @@ independent certification, deterministic report.
   unknown family "nope" (uniform|powerlaw|even|unit|parallel|bottleneck|multipool)
   exit: 2
 
+Parallel solving: --jobs never changes the answer, only the wall
+clock.  The two-pool instance has two components, so --jobs 2 solves
+them on separate domains.
+
+  $ migrate plan -q --jobs 2 two_pools.txt
+  algorithm:   auto
+  rounds:      3
+  lower bound: 3
+  utilization: 0.48
+  $ migrate plan -q --jobs 1 two_pools.txt > seq.out
+  $ migrate plan -q --jobs 2 two_pools.txt | cmp - seq.out && echo same
+  same
+
+A violation found on a worker domain still fails the run: the exit
+code is the certifier's verdict, not the domain's.
+
+  $ migrate fuzz --families unit --count 1 --seed 5 --jobs 2 --inject-broken > fuzz_broken.out 2>&1; echo "exit: $?"
+  exit: 1
+  $ head -14 fuzz_broken.out
+  fuzz: 1 families x 1 instances, size 12, seed 5
+  
+  family       solver        runs    ok  max-gap  gap histogram
+  unit         hetero           1     1        0  0:1
+  unit         saia             1     1        1  1:1
+  unit         greedy           1     1        1  1:1
+  unit         orbits           1     1        1  1:1
+  unit         auto             1     1        0  0:1
+  unit         broken           1     0        0  0:1
+  unit         forwarding       1     1        0  0:1
+  
+  total: 1 instances, 7 solver runs, 1 failures
+  
+  FAILURE family=unit seed=5000 size=12 solver=broken
+
 A fuzz-family reproducer triple (family, seed, size) regenerates the
 exact instance; the bottleneck family makes the subset bound bind.
 
