@@ -1,0 +1,156 @@
+(* gate — the CI perf-regression gate.
+
+   Usage:  gate BASELINE.json CURRENT.json [--tolerance 0.25]
+
+   Both files are outputs of `bench <experiments> --json` (see
+   write_json in main.ml).  The gate fails (exit 1) when
+
+     - an experiment present in both files got slower than
+       (1 + tolerance) x its baseline wall time, or
+     - the current run's "identical_schedules" assertion is false
+       (the parallel pipeline produced a different schedule at some
+       --jobs value — a determinism break, not a perf problem).
+
+   Experiments with a baseline under [min_wall] seconds are reported
+   but never gated: at that scale the numbers are timer noise.
+
+   The parser is a string scraper matched to our own writer's output —
+   the tree has no JSON dependency and does not want one for this. *)
+
+let tolerance = ref 0.25
+let min_wall = 0.05
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg ->
+    Printf.eprintf "gate: %s\n" msg;
+    exit 2
+
+(* next occurrence of [needle] in [hay] at or after [from] *)
+let find_from hay needle from =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go from
+
+let scrape_string hay ~key ~from =
+  (* "key": "value" *)
+  let pat = Printf.sprintf "\"%s\": \"" key in
+  match find_from hay pat from with
+  | None -> None
+  | Some i ->
+      let start = i + String.length pat in
+      let stop = String.index_from hay start '"' in
+      Some (String.sub hay start (stop - start), stop)
+
+let scrape_float hay ~key ~from =
+  let pat = Printf.sprintf "\"%s\": " key in
+  match find_from hay pat from with
+  | None -> None
+  | Some i ->
+      let start = i + String.length pat in
+      let stop = ref start in
+      let n = String.length hay in
+      while
+        !stop < n
+        && (match hay.[!stop] with
+           | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.sub hay start (!stop - start))
+
+(* every { "name": ..., "wall_s": ... } record of the experiments list *)
+let experiments text =
+  let rec go from acc =
+    match scrape_string text ~key:"name" ~from with
+    | None -> List.rev acc
+    | Some (name, after) -> (
+        match scrape_float text ~key:"wall_s" ~from:after with
+        | None -> List.rev acc
+        | Some w -> go (after + 1) ((name, w) :: acc))
+  in
+  go 0 []
+
+let identical_schedules text =
+  match find_from text "\"identical_schedules\": " 0 with
+  | None -> None
+  | Some i ->
+      let start = i + String.length "\"identical_schedules\": " in
+      Some (String.length text > start + 3 && String.sub text start 4 = "true")
+
+let () =
+  let positional = ref [] in
+  let rec parse = function
+    | "--tolerance" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t when t > 0.0 -> tolerance := t
+        | _ ->
+            prerr_endline "gate: --tolerance needs a positive float";
+            exit 2);
+        parse rest
+    | a :: rest ->
+        positional := a :: !positional;
+        parse rest
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let base_path, cur_path =
+    match List.rev !positional with
+    | [ b; c ] -> (b, c)
+    | _ ->
+        prerr_endline "usage: gate BASELINE.json CURRENT.json [--tolerance T]";
+        exit 2
+  in
+  let base = read_file base_path and cur = read_file cur_path in
+  let base_exps = experiments base and cur_exps = experiments cur in
+  if base_exps = [] then begin
+    Printf.eprintf "gate: no experiments found in %s\n" base_path;
+    exit 2
+  end;
+  if cur_exps = [] then begin
+    Printf.eprintf "gate: no experiments found in %s\n" cur_path;
+    exit 2
+  end;
+  Printf.printf "perf gate: %s -> %s (tolerance %.0f%%)\n\n" base_path cur_path
+    (100.0 *. !tolerance);
+  Printf.printf "%-12s %10s %10s %8s  %s\n" "experiment" "base (s)" "cur (s)"
+    "ratio" "verdict";
+  let failed = ref false in
+  List.iter
+    (fun (name, b) ->
+      match List.assoc_opt name cur_exps with
+      | None -> Printf.printf "%-12s %10.3f %10s %8s  missing from current\n" name b "-" "-"
+      | Some c ->
+          let ratio = if b > 0.0 then c /. b else 1.0 in
+          let verdict =
+            if b < min_wall then "ok (below noise floor, not gated)"
+            else if ratio > 1.0 +. !tolerance then begin
+              failed := true;
+              "REGRESSION"
+            end
+            else "ok"
+          in
+          Printf.printf "%-12s %10.3f %10.3f %7.2fx  %s\n" name b c ratio
+            verdict)
+    base_exps;
+  (match identical_schedules cur with
+  | Some true -> Printf.printf "\nidentical schedules across --jobs: yes\n"
+  | Some false ->
+      Printf.printf
+        "\nidentical schedules across --jobs: NO — determinism break\n";
+      failed := true
+  | None -> ());
+  if !failed then begin
+    Printf.printf "\nGATE FAILED\n";
+    exit 1
+  end
+  else Printf.printf "\ngate passed\n"

@@ -1157,6 +1157,64 @@ let e9_parallel () =
   parallel_detail :=
     Some (List.map (fun (j, _, _, t) -> (j, t)) runs, rounds, lb, comps)
 
+(* ------------------------------------------------------------------ *)
+(* E10 (CLI key "engine"): incremental re-planning vs the oracle       *)
+
+(* stashed by the engine experiment for the --json writer:
+   (rate, t_incremental, t_scratch, replans_inc, replans_scratch,
+    rounds_inc, rounds_scratch) *)
+let engine_detail :
+    (float * float * float * int * int * int * int) list option ref =
+  ref None
+
+let e10_engine () =
+  header "E10 [engine]  incremental re-planning vs re-solve-from-scratch";
+  Printf.printf
+    "closed-loop execution under seeded transient faults: warm-started\n\
+     incremental replanning (only fault-dirtied components re-solve) vs\n\
+     an oracle that re-solves the whole residual at every replan\n\n";
+  let components = 6 and n = 32 and m = 1200 in
+  let inst = parallel_instance ~components ~n ~m in
+  Printf.printf "%d components x (n=%d, m=%d) = %d items\n\n" components n m
+    (M.Instance.n_items inst);
+  Printf.printf "%8s | %9s %8s %7s | %10s %8s %7s | %8s\n" "p(fail)"
+    "incr (s)" "replans" "rounds" "scratch(s)" "replans" "rounds" "speedup";
+  let rows =
+    List.map
+      (fun rate ->
+        let run incremental =
+          (* same seeds both ways: identical fault draws, so the only
+             difference is how much re-planning each replan does.  Two
+             mid-flight slowdowns land in two of the six components —
+             the warm start re-solves those components only, the
+             oracle re-solves all six every time. *)
+          let policy =
+            Storsim.Fault.engine_policy ~fault_rate:rate
+              ~slowdowns:[ (5, 3); (25, n + 3) ]
+              ~seed:7 ()
+          in
+          let o, t =
+            wall_clock (fun () ->
+                M.Engine.run ~rng:(rng_of 903) ~incremental ~policy inst)
+          in
+          let v = M.Certify.certify_execution o.M.Engine.execution in
+          if not (M.Certify.exec_ok v) then
+            failwith "e10 engine: execution failed certification";
+          (o, t)
+        in
+        let oi, ti = run true in
+        let os, ts = run false in
+        Printf.printf
+          "%8.2f | %9.3f %8d %7d | %10.3f %8d %7d | %7.2fx\n" rate ti
+          oi.M.Engine.replans oi.M.Engine.total_rounds ts
+          os.M.Engine.replans os.M.Engine.total_rounds
+          (if ti > 0.0 then ts /. ti else 1.0);
+        ( rate, ti, ts, oi.M.Engine.replans, os.M.Engine.replans,
+          oi.M.Engine.total_rounds, os.M.Engine.total_rounds ))
+      [ 0.0; 0.01; 0.05 ]
+  in
+  engine_detail := Some rows
+
 let experiments =
   [
     ("fig1", e1_fig1);
@@ -1186,6 +1244,7 @@ let experiments =
     ("deadline", e24_deadline);
     ("metrics", e25_metrics);
     ("e9", e9_parallel);
+    ("engine", e10_engine);
   ]
 
 (* --json: the perf-regression baseline.  Handwritten like
@@ -1226,6 +1285,22 @@ let write_json ~path timings =
       Buffer.add_string buf "    ],\n";
       Buffer.add_string buf "    \"identical_schedules\": true\n";
       Buffer.add_string buf "  }");
+  (match !engine_detail with
+  | None -> ()
+  | Some rows ->
+      Buffer.add_string buf ",\n  \"engine\": {\n    \"rates\": [\n";
+      List.iteri
+        (fun i (rate, ti, ts, ri, rs, rdi, rds) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      { \"fault_rate\": %.3f, \"incremental_s\": %.6f, \
+                \"scratch_s\": %.6f, \"replans_incremental\": %d, \
+                \"replans_scratch\": %d, \"rounds_incremental\": %d, \
+                \"rounds_scratch\": %d }%s\n"
+               rate ti ts ri rs rdi rds
+               (if i = List.length rows - 1 then "" else ",")))
+        rows;
+      Buffer.add_string buf "    ]\n  }");
   Buffer.add_string buf "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -1235,6 +1310,18 @@ let write_json ~path timings =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
+  (* --out FILE: where --json writes (default keeps the PR3 name the
+     CI artifact pipeline already knows) *)
+  let rec split_out acc out = function
+    | "--out" :: path :: rest -> split_out acc (Some path) rest
+    | "--out" :: [] ->
+        prerr_endline "--out needs a file argument";
+        exit 2
+    | a :: rest -> split_out (a :: acc) out rest
+    | [] -> (List.rev acc, out)
+  in
+  let args, out = split_out [] None args in
+  let path = Option.value out ~default:"BENCH_pr3.json" in
   let names = List.filter (fun a -> a <> "--json") args in
   let requested =
     match names with [] -> List.map fst experiments | l -> l
@@ -1252,4 +1339,4 @@ let () =
             exit 2)
       requested
   in
-  if json then write_json ~path:"BENCH_pr3.json" timings
+  if json then write_json ~path timings

@@ -111,18 +111,24 @@ let report_metrics ~metrics ~metrics_json =
 (* ------------------------------------------------------------------ *)
 (* generate *)
 
-let resolve_family name =
-  match Gen.family_of_string name with
-  | Some f -> f
-  | None ->
-      Printf.eprintf "unknown family %S (%s)\n" name
-        (String.concat "|" Gen.names);
-      exit 2
+(* a proper converter so a typo'd family name fails at parse time and
+   the error lists every valid family *)
+let family_conv =
+  let parse s =
+    match Gen.family_of_string s with
+    | Some f -> Ok f
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown family %S (expected one of %s)" s
+               (String.concat "|" Gen.names)))
+  in
+  Arg.conv (parse, fun ppf f -> Format.pp_print_string ppf f.Gen.name)
 
 let generate kind family size n m caps seed =
   let inst =
     match family with
-    | Some name -> Gen.instance (resolve_family name) ~seed ~size
+    | Some fam -> Gen.instance fam ~seed ~size
     | None ->
         let rng = rng_of_seed seed in
         let g =
@@ -153,7 +159,8 @@ let family_arg =
      bottleneck, multipool); overrides $(b,--kind).  The (family, seed, \
      size) triple reproduces the exact instance a fuzz failure names."
   in
-  Arg.(value & opt (some string) None & info [ "family" ] ~docv:"FAMILY" ~doc)
+  Arg.(
+    value & opt (some family_conv) None & info [ "family" ] ~docv:"FAMILY" ~doc)
 
 let generate_cmd =
   let kind =
@@ -294,8 +301,80 @@ let compare_cmd =
 (* ------------------------------------------------------------------ *)
 (* simulate *)
 
-let simulate scenario n_disks n_items alg seed verbose trace =
+(* --inject-tamper: corrupt the flight recorder before certification
+   (drop the first completed transfer), so the test suite can prove
+   the certifier rejects a doctored log and the exit code goes
+   non-zero. *)
+let tamper_execution (x : Migration.Certify.execution) =
+  let rec drop_first = function
+    | ({ Migration.Certify.completed = _ :: rest; _ } as r) :: tl ->
+        { r with Migration.Certify.completed = rest } :: tl
+    | r :: tl -> r :: drop_first tl
+    | [] -> []
+  in
+  { x with Migration.Certify.log = drop_first x.Migration.Certify.log }
+
+(* fault mode: drive the reconfiguration through the closed-loop
+   execution engine under an injected fault policy, then certify the
+   executed rounds independently *)
+let simulate_engine sc ~fault_rate ~crashes ~slows ~seed ~jobs ~trace
+    ~inject_tamper ~metrics ~metrics_json =
+  let cluster = sc.Workloads.Scenarios.cluster in
+  let job =
+    Storsim.Cluster.plan_reconfiguration cluster
+      ~target:sc.Workloads.Scenarios.target
+  in
+  let inst = job.Storsim.Cluster.instance in
+  (* calamities land inside the fault-free horizon so they actually
+     bite; LB1 is a cheap deterministic proxy for it *)
+  let horizon = max 1 (Migration.Lower_bounds.lb1 inst) in
+  let crash_events, slow_events =
+    Storsim.Fault.random_calamities
+      (rng_of_seed (seed + 0x0ca1))
+      ~n_disks:(Migration.Instance.n_disks inst)
+      ~horizon ~crashes ~slowdowns:slows
+  in
+  let policy =
+    Storsim.Fault.engine_policy ~fault_rate ~crashes:crash_events
+      ~slowdowns:slow_events ~seed ()
+  in
+  Migration.Instr.reset ();
+  Printf.printf "scenario:  %s\n" sc.Workloads.Scenarios.name;
+  Printf.printf "policy:    %s\n" policy.Migration.Engine.policy_name;
+  match
+    Migration.Engine.run ~rng:(rng_of_seed seed) ~jobs ~policy inst
+  with
+  | exception Migration.Engine.Plan_rejected msg ->
+      Printf.eprintf "error: replan rejected mid-flight: %s\n" msg;
+      exit 1
+  | o ->
+      Format.printf "%a@." Migration.Engine.pp_outcome o;
+      if trace then
+        print_string
+          (Storsim.Trace.render
+             (Storsim.Trace.capture_execution
+                ~disks:(Storsim.Cluster.disks cluster) job
+                o.Migration.Engine.execution));
+      let x =
+        if inject_tamper then tamper_execution o.Migration.Engine.execution
+        else o.Migration.Engine.execution
+      in
+      let v = Migration.Certify.certify_execution x in
+      Format.printf "%a@." Migration.Certify.pp_exec v;
+      report_metrics ~metrics ~metrics_json;
+      if not (Migration.Certify.exec_ok v) then exit 1
+
+let simulate scenario n_disks n_items alg seed jobs verbose trace fault_rate
+    crashes slows inject_tamper metrics metrics_json =
   setup_logs verbose;
+  if fault_rate < 0.0 || fault_rate >= 1.0 then begin
+    Printf.eprintf "error: --fault-rate must be in [0, 1)\n";
+    exit 2
+  end;
+  if crashes < 0 || slows < 0 then begin
+    Printf.eprintf "error: --crash/--slow counts must be >= 0\n";
+    exit 2
+  end;
   let rng = rng_of_seed seed in
   let sc =
     match scenario with
@@ -312,28 +391,34 @@ let simulate scenario n_disks n_items alg seed verbose trace =
         Printf.eprintf "unknown scenario %S (rebalance|add|remove|failure)\n" other;
         exit 2
   in
-  (if trace then begin
-     let job =
-       Storsim.Cluster.plan_reconfiguration sc.Workloads.Scenarios.cluster
-         ~target:sc.Workloads.Scenarios.target
-     in
-     let sched =
-       Migration.plan ~rng:(rng_of_seed seed) alg job.Storsim.Cluster.instance
-     in
-     print_string
-       (Storsim.Trace.render
-          (Storsim.Trace.capture
-             ~disks:(Storsim.Cluster.disks sc.Workloads.Scenarios.cluster)
-             job sched))
-   end);
-  let report =
-    Storsim.Simulator.run sc.Workloads.Scenarios.cluster
-      ~target:sc.Workloads.Scenarios.target
-      ~plan:(Migration.plan ~rng:(rng_of_seed seed) alg)
-  in
-  Printf.printf "scenario:  %s\n" sc.Workloads.Scenarios.name;
-  Printf.printf "algorithm: %s\n" (Migration.algorithm_to_string alg);
-  Format.printf "%a@." Storsim.Simulator.pp_report report
+  if fault_rate > 0.0 || crashes > 0 || slows > 0 || inject_tamper then
+    simulate_engine sc ~fault_rate ~crashes ~slows ~seed ~jobs ~trace
+      ~inject_tamper ~metrics ~metrics_json
+  else begin
+    (if trace then begin
+       let job =
+         Storsim.Cluster.plan_reconfiguration sc.Workloads.Scenarios.cluster
+           ~target:sc.Workloads.Scenarios.target
+       in
+       let sched =
+         Migration.plan ~rng:(rng_of_seed seed) alg job.Storsim.Cluster.instance
+       in
+       print_string
+         (Storsim.Trace.render
+            (Storsim.Trace.capture
+               ~disks:(Storsim.Cluster.disks sc.Workloads.Scenarios.cluster)
+               job sched))
+     end);
+    let report =
+      Storsim.Simulator.run sc.Workloads.Scenarios.cluster
+        ~target:sc.Workloads.Scenarios.target
+        ~plan:(Migration.plan ~rng:(rng_of_seed seed) alg)
+    in
+    Printf.printf "scenario:  %s\n" sc.Workloads.Scenarios.name;
+    Printf.printf "algorithm: %s\n" (Migration.algorithm_to_string alg);
+    Format.printf "%a@." Storsim.Simulator.pp_report report;
+    report_metrics ~metrics ~metrics_json
+  end
 
 let simulate_cmd =
   let scenario =
@@ -349,14 +434,47 @@ let simulate_cmd =
     Arg.(value & opt int 400 & info [ "items" ] ~docv:"M" ~doc)
   in
   let trace =
-    let doc = "Print a per-disk Gantt trace of the schedule first." in
+    let doc =
+      "Print a per-disk Gantt trace (of the plan, or of the executed rounds \
+       in fault mode) first."
+    in
     Arg.(value & flag & info [ "trace" ] ~doc)
   in
-  let doc = "Run a cluster scenario end-to-end through the simulator." in
+  let fault_rate =
+    let doc =
+      "Per-transfer failure probability in [0, 1).  Any fault option \
+       switches the command into engine mode: the closed-loop \
+       simulate/detect/re-plan executor drives the migration, and every \
+       executed round is independently certified (non-zero exit when \
+       certification fails)."
+    in
+    Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"P" ~doc)
+  in
+  let crashes =
+    let doc = "Disks to crash permanently at seeded random rounds." in
+    Arg.(value & opt int 0 & info [ "crash" ] ~docv:"N" ~doc)
+  in
+  let slows =
+    let doc = "Disks to degrade (transfer constraint halved) at seeded rounds." in
+    Arg.(value & opt int 0 & info [ "slow" ] ~docv:"N" ~doc)
+  in
+  let inject_tamper =
+    let doc =
+      "Corrupt the execution log before certification (testing hook: proves \
+       the certifier catches a doctored log and exits non-zero)."
+    in
+    Arg.(value & flag & info [ "inject-tamper" ] ~doc)
+  in
+  let doc =
+    "Run a cluster scenario end-to-end through the simulator, or — with \
+     $(b,--fault-rate)/$(b,--crash)/$(b,--slow) — through the fault-tolerant \
+     execution engine."
+  in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ scenario $ n_disks $ n_items $ algorithm_arg $ seed_arg
-      $ verbose_arg $ trace)
+      $ jobs_arg $ verbose_arg $ trace $ fault_rate $ crashes $ slows
+      $ inject_tamper $ metrics_arg $ metrics_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* exact *)
@@ -469,15 +587,56 @@ let broken_solver =
                (Array.sub rounds 2 (Array.length rounds - 2))));
   }
 
-let fuzz families count seed size jobs inject_broken regress_dir metrics
-    metrics_json =
-  let families =
-    match families with
-    | [] -> Gen.all
-    | names -> List.map resolve_family names
+(* fault-injection fuzzing: run the execution engine over every
+   generated instance and certify each execution end to end *)
+let fuzz_engine ~families ~count ~seed ~size ~jobs ~fault_rate ~metrics
+    ~metrics_json =
+  let policy ~inst:_ ~seed =
+    Storsim.Fault.engine_policy ~fault_rate ~seed ()
   in
-  if inject_broken then Migration.Solver.register broken_solver;
+  let report = Gen.Fuzz.run_engine ~size ~jobs ~policy ~families ~count ~seed () in
+  Printf.printf
+    "engine fuzz: %d families x %d instances, size %d, fault rate %g, seed %d\n\n"
+    (List.length families) count size fault_rate seed;
+  Printf.printf "%-12s %5s %9s %11s %7s %7s %6s %5s\n" "family" "runs"
+    "completed" "quarantined" "replans" "retries" "rounds" "idle";
+  List.iter
+    (fun (name, (t : Gen.Fuzz.engine_totals)) ->
+      Printf.printf "%-12s %5d %9d %11d %7d %7d %6d %5d\n" name
+        t.Gen.Fuzz.eng_instances t.Gen.Fuzz.eng_completed
+        t.Gen.Fuzz.eng_quarantined t.Gen.Fuzz.eng_replans
+        t.Gen.Fuzz.eng_retries t.Gen.Fuzz.eng_rounds
+        t.Gen.Fuzz.eng_idle_rounds)
+    report.Gen.Fuzz.eng_per_family;
+  Printf.printf "\ntotal: %d executions, all certified: %s, %d failures\n"
+    report.Gen.Fuzz.eng_totals.Gen.Fuzz.eng_instances
+    (if report.Gen.Fuzz.eng_failures = [] then "yes" else "NO")
+    (List.length report.Gen.Fuzz.eng_failures);
+  List.iter
+    (fun (f : Gen.Fuzz.engine_failure) ->
+      Printf.printf "\nFAILURE family=%s seed=%d size=%d\n" f.Gen.Fuzz.ef_family
+        f.Gen.Fuzz.ef_seed f.Gen.Fuzz.ef_size;
+      List.iter (fun m -> Printf.printf "  - %s\n" m) f.Gen.Fuzz.ef_messages;
+      Printf.printf
+        "  reproduce: migrate generate --family %s --seed %d --size %d > bad.inst\n"
+        f.Gen.Fuzz.ef_family f.Gen.Fuzz.ef_seed f.Gen.Fuzz.ef_size)
+    report.Gen.Fuzz.eng_failures;
+  report_metrics ~metrics ~metrics_json;
+  if report.Gen.Fuzz.eng_failures <> [] then exit 1
+
+let fuzz families count seed size jobs fault_rate inject_broken regress_dir
+    metrics metrics_json =
+  if fault_rate < 0.0 || fault_rate >= 1.0 then begin
+    Printf.eprintf "error: --fault-rate must be in [0, 1)\n";
+    exit 2
+  end;
+  let families = match families with [] -> Gen.all | fams -> fams in
   Migration.Instr.reset ();
+  if fault_rate > 0.0 then
+    fuzz_engine ~families ~count ~seed ~size ~jobs ~fault_rate ~metrics
+      ~metrics_json
+  else begin
+  if inject_broken then Migration.Solver.register broken_solver;
   let report = Gen.Fuzz.run ~size ~jobs ~families ~count ~seed () in
   Printf.printf "fuzz: %d families x %d instances, size %d, seed %d\n\n"
     (List.length families) count size seed;
@@ -536,14 +695,19 @@ let fuzz families count seed size jobs inject_broken regress_dir metrics
     report.Gen.Fuzz.failures;
   report_metrics ~metrics ~metrics_json;
   if report.Gen.Fuzz.failures <> [] then exit 1
+  end
 
 let fuzz_cmd =
   let families =
     let doc =
       "Comma-separated families to fuzz (default: all of uniform, powerlaw, \
-       even, unit, parallel, bottleneck, multipool)."
+       even, unit, parallel, bottleneck, multipool).  An unknown name is a \
+       parse error listing the valid families."
     in
-    Arg.(value & opt (list string) [] & info [ "families" ] ~docv:"F1,F2,..." ~doc)
+    Arg.(
+      value
+      & opt (list family_conv) []
+      & info [ "families" ] ~docv:"F1,F2,..." ~doc)
   in
   let count =
     let doc = "Instances per family." in
@@ -569,10 +733,18 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "inject-broken" ] ~doc)
   in
+  let fault_rate =
+    let doc =
+      "Switch to fault-injection fuzzing: drive the execution engine over \
+       every generated instance with this per-transfer failure probability \
+       and certify each execution end to end."
+    in
+    Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"P" ~doc)
+  in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const fuzz $ families $ count $ seed_arg $ size_arg $ jobs_arg
-      $ inject_broken $ regress $ metrics_arg $ metrics_json_arg)
+      $ fault_rate $ inject_broken $ regress $ metrics_arg $ metrics_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dot *)

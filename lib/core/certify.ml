@@ -133,3 +133,173 @@ let pp ppf v =
         (fun x -> Format.fprintf ppf "@,  - %s" (violation_to_string x))
         vs;
       Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Execution certification: auditing what the engine actually ran,
+   fault by fault, rather than what a planner promised to run. *)
+
+type exec_round = {
+  attempted : int list;
+  completed : int list;
+  crashed : int list;
+  slowed : (int * int) list;
+}
+
+type execution = {
+  instance : Instance.t;
+  log : exec_round list;
+  idle_rounds : int;
+  quarantined : int list;
+  replan_bounds : int list;
+}
+
+type exec_violation =
+  | Exec_missing of { item : int }
+  | Exec_duplicate of { item : int; first_round : int; round : int }
+  | Exec_unknown of { item : int; round : int }
+  | Exec_overload of { round : int; disk : int; load : int; cap : int }
+  | Exec_not_attempted of { item : int; round : int }
+  | Exec_uses_crashed_disk of { item : int; round : int; disk : int }
+  | Exec_quarantine_overlap of { item : int; round : int }
+  | Exec_rounds_exceed_bounds of { rounds : int; bound_sum : int }
+
+type exec_verdict = {
+  exec_rounds : int;       (** executed (non-idle) rounds audited *)
+  completed_items : int;
+  exec_violations : exec_violation list;
+}
+
+let exec_ok v = v.exec_violations = []
+
+let certify_execution x =
+  let inst = x.instance in
+  let n = Instance.n_disks inst and m = Instance.n_items inst in
+  let g = Instance.graph inst in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  (* replayed disk state: capacities degrade, crashed disks die *)
+  let caps = Array.copy (Instance.caps inst) in
+  let dead = Array.make n false in
+  let completed_in = Array.make m (-1) in
+  let quarantined = Array.make m false in
+  List.iter
+    (fun e -> if e >= 0 && e < m then quarantined.(e) <- true)
+    x.quarantined;
+  let load = Array.make n 0 in
+  let completed_items = ref 0 in
+  List.iteri
+    (fun r round ->
+      (* the load of a round counts every attempted transfer — failed
+         transfers held their streams for the full round *)
+      List.iter
+        (fun e ->
+          if e < 0 || e >= m then add (Exec_unknown { item = e; round = r })
+          else begin
+            let u, v = Multigraph.endpoints g e in
+            load.(u) <- load.(u) + 1;
+            if v <> u then load.(v) <- load.(v) + 1;
+            if dead.(u) then
+              add (Exec_uses_crashed_disk { item = e; round = r; disk = u });
+            if dead.(v) && v <> u then
+              add (Exec_uses_crashed_disk { item = e; round = r; disk = v })
+          end)
+        round.attempted;
+      for disk = 0 to n - 1 do
+        if load.(disk) > caps.(disk) then
+          add (Exec_overload { round = r; disk; load = load.(disk); cap = caps.(disk) });
+        load.(disk) <- 0
+      done;
+      (* completions: a subset of the attempt, exactly once overall,
+         never on a disk that crashed this round, never a quarantined
+         item *)
+      let attempted = Hashtbl.create 16 in
+      List.iter (fun e -> Hashtbl.replace attempted e ()) round.attempted;
+      let crashed_now = Hashtbl.create 4 in
+      List.iter (fun d -> Hashtbl.replace crashed_now d ()) round.crashed;
+      List.iter
+        (fun e ->
+          if e < 0 || e >= m then add (Exec_unknown { item = e; round = r })
+          else begin
+            if not (Hashtbl.mem attempted e) then
+              add (Exec_not_attempted { item = e; round = r });
+            if completed_in.(e) >= 0 then
+              add
+                (Exec_duplicate
+                   { item = e; first_round = completed_in.(e); round = r })
+            else begin
+              completed_in.(e) <- r;
+              incr completed_items
+            end;
+            if quarantined.(e) then
+              add (Exec_quarantine_overlap { item = e; round = r });
+            let u, v = Multigraph.endpoints g e in
+            if Hashtbl.mem crashed_now u then
+              add (Exec_uses_crashed_disk { item = e; round = r; disk = u });
+            if Hashtbl.mem crashed_now v && v <> u then
+              add (Exec_uses_crashed_disk { item = e; round = r; disk = v })
+          end)
+        round.completed;
+      (* state changes land after the round that suffered them *)
+      List.iter
+        (fun d -> if d >= 0 && d < n then dead.(d) <- true)
+        round.crashed;
+      List.iter
+        (fun (d, c) -> if d >= 0 && d < n && c >= 1 then caps.(d) <- c)
+        round.slowed)
+    x.log;
+  (* exactly-once over the whole execution: every item either completed
+     or quarantined, never both (the both case is flagged above) *)
+  for e = 0 to m - 1 do
+    if completed_in.(e) < 0 && not quarantined.(e) then
+      add (Exec_missing { item = e })
+  done;
+  (* progress bound: the executed rounds must stay within the budget
+     the replans certified, or the engine lost rounds it cannot
+     account for *)
+  let bound_sum = List.fold_left ( + ) 0 x.replan_bounds in
+  let exec_rounds = List.length x.log in
+  if exec_rounds > bound_sum then
+    add (Exec_rounds_exceed_bounds { rounds = exec_rounds; bound_sum });
+  {
+    exec_rounds;
+    completed_items = !completed_items;
+    exec_violations = List.rev !violations;
+  }
+
+let exec_violation_to_string = function
+  | Exec_missing { item } ->
+      Printf.sprintf "item %d neither completed nor quarantined" item
+  | Exec_duplicate { item; first_round; round } ->
+      Printf.sprintf "item %d completed twice (rounds %d and %d)" item
+        first_round round
+  | Exec_unknown { item; round } ->
+      Printf.sprintf "round %d references unknown item %d" round item
+  | Exec_overload { round; disk; load; cap } ->
+      Printf.sprintf
+        "round %d overloads disk %d: %d transfers > degraded c_v = %d" round
+        disk load cap
+  | Exec_not_attempted { item; round } ->
+      Printf.sprintf "round %d completes item %d it never attempted" round item
+  | Exec_uses_crashed_disk { item; round; disk } ->
+      Printf.sprintf "round %d moves item %d through crashed disk %d" round
+        item disk
+  | Exec_quarantine_overlap { item; round } ->
+      Printf.sprintf "round %d completes quarantined item %d" round item
+  | Exec_rounds_exceed_bounds { rounds; bound_sum } ->
+      Printf.sprintf
+        "%d executed rounds exceed the %d rounds the replans certified" rounds
+        bound_sum
+
+let pp_exec ppf v =
+  match v.exec_violations with
+  | [] ->
+      Format.fprintf ppf "execution certified: %d rounds, %d items completed"
+        v.exec_rounds v.completed_items
+  | vs ->
+      Format.fprintf ppf
+        "@[<v>EXECUTION REJECTED: %d rounds, %d items completed" v.exec_rounds
+        v.completed_items;
+      List.iter
+        (fun x -> Format.fprintf ppf "@,  - %s" (exec_violation_to_string x))
+        vs;
+      Format.fprintf ppf "@]"

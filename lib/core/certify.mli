@@ -83,3 +83,68 @@ val check :
 
 val violation_to_string : violation -> string
 val pp : Format.formatter -> verdict -> unit
+
+(** {1 Execution certification}
+
+    {!Engine.run} drives a schedule through faults: transfers fail and
+    retry, disks crash or degrade, and the engine re-plans the
+    residual.  The types below are the engine's tamper-evident flight
+    recorder, and {!certify_execution} audits the {e concatenated
+    executed rounds} from scratch — sharing no state with the engine —
+    so a buggy engine cannot certify its own mistakes. *)
+
+(** One executed (non-idle) round.  [attempted] is what the round
+    tried to move (failed transfers still hold their streams, so the
+    load check counts them); [completed] is the subset that survived;
+    [crashed]/[slowed] are the disk events suffered {e during} the
+    round — they take effect from the next round on. *)
+type exec_round = {
+  attempted : int list;
+  completed : int list;
+  crashed : int list;           (** disks lost during this round *)
+  slowed : (int * int) list;    (** (disk, degraded [c_v]) from next round *)
+}
+
+type execution = {
+  instance : Instance.t;
+  log : exec_round list;        (** executed rounds, in order *)
+  idle_rounds : int;            (** backoff gaps with nothing eligible *)
+  quarantined : int list;       (** items dropped instead of completed *)
+  replan_bounds : int list;     (** certified round bound of each (re)plan *)
+}
+
+type exec_violation =
+  | Exec_missing of { item : int }
+      (** neither completed nor quarantined *)
+  | Exec_duplicate of { item : int; first_round : int; round : int }
+      (** completed a second time — exactly-once broken *)
+  | Exec_unknown of { item : int; round : int }
+  | Exec_overload of { round : int; disk : int; load : int; cap : int }
+      (** attempted load beats the capacity {e in force} that round,
+          degradations replayed *)
+  | Exec_not_attempted of { item : int; round : int }
+      (** completion without an attempt *)
+  | Exec_uses_crashed_disk of { item : int; round : int; disk : int }
+  | Exec_quarantine_overlap of { item : int; round : int }
+      (** an item both quarantined and completed *)
+  | Exec_rounds_exceed_bounds of { rounds : int; bound_sum : int }
+      (** executed rounds exceed the sum of per-replan certified
+          bounds *)
+
+type exec_verdict = {
+  exec_rounds : int;
+  completed_items : int;
+  exec_violations : exec_violation list;  (** empty iff certified *)
+}
+
+val exec_ok : exec_verdict -> bool
+
+(** [certify_execution x] replays [x.log] against [x.instance]:
+    exactly-once completion (modulo the quarantine), per-round loads
+    under the degraded capacities in force, no traffic through crashed
+    disks, and total executed rounds within the certified replan
+    budget. *)
+val certify_execution : execution -> exec_verdict
+
+val exec_violation_to_string : exec_violation -> string
+val pp_exec : Format.formatter -> exec_verdict -> unit

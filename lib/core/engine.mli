@@ -1,0 +1,107 @@
+(** Fault-tolerant execution: simulate, detect, incrementally re-plan.
+
+    Planners promise a schedule; production disks break it.  The
+    engine drives a plan round by round against a fault {!policy}
+    (transient transfer failures, disk crashes, slowdowns that halve
+    [c_v]), collects the surviving residual edges, and re-plans {e
+    only what changed}: the residual decomposes into connected
+    components, components untouched by any fault keep their remaining
+    rounds verbatim (warm start), and the affected components are
+    re-solved through {!Pipeline.solve} — so a single flaky transfer
+    never pays for a full re-solve of the cluster.
+
+    Failure handling is graceful throughout: transiently failed
+    transfers retry up to [max_retries] times under an exponential
+    round-backoff ([backoff_base * 2^(attempts-1)] rounds), edges on a
+    crashed disk are dropped into a quarantine report instead of
+    aborting the migration, and a run that somehow exhausts its round
+    budget quarantines the leftovers rather than spinning.
+
+    Every (re)plan is certified with {!Certify.check} before a single
+    transfer runs, and the full execution log is replayable through
+    {!Certify.certify_execution} — exactly-once completion, per-round
+    loads under the degraded capacities actually in force, and total
+    executed rounds within the summed certified plan bounds.
+
+    {b Determinism}: for a fixed [rng], [policy] and instance the
+    outcome is bit-identical at every [jobs] value — the loop is
+    sequential, and {!Pipeline.solve} carries its own determinism
+    contract.
+
+    Instrumentation ({!Instr}): ["engine.plans"], ["engine.replans"],
+    ["engine.rounds"], ["engine.idle_rounds"], ["engine.retried_edges"],
+    ["engine.quarantined_edges"], ["engine.crashes"],
+    ["engine.slowdowns"], ["engine.rounds_lost"], and timers
+    ["engine.plan"] / ["engine.run"]. *)
+
+(** One injected fault.  Unknown disks, dead disks and edges not in
+    the attempted round are ignored, so policies can be sloppy. *)
+type fault =
+  | Fail_transfer of int  (** this round's attempt of the edge fails *)
+  | Crash_disk of int     (** permanent: pending edges quarantined *)
+  | Slow_disk of int      (** [c_v <- max 1 (c_v / 2)] from next round *)
+
+(** A fault policy is consulted once per executed round, with the
+    transfers about to run.  {!Sim.Fault.engine_policy} builds the
+    seeded stochastic one; tests inject hand-written scripts. *)
+type policy = {
+  policy_name : string;
+  decide : round:int -> attempted:int list -> fault list;
+}
+
+(** The fault-free policy: every transfer succeeds. *)
+val no_faults : policy
+
+type quarantine_reason =
+  | Crashed of int              (** the disk that took the edge down *)
+  | Retries_exhausted of int    (** attempts made *)
+  | Round_budget_exhausted
+
+val quarantine_reason_to_string : quarantine_reason -> string
+
+type outcome = {
+  execution : Certify.execution;
+      (** the flight recorder {!Certify.certify_execution} audits *)
+  schedule : Schedule.t;
+      (** completed transfers per executed round (informational; it
+          only validates against the instance when nothing was
+          quarantined) *)
+  completed : int;
+  quarantined : (int * quarantine_reason) list;  (** event order *)
+  crashed : int list;
+  degraded : (int * int) list;  (** (disk, final degraded [c_v]) *)
+  replans : int;   (** re-solve events after the initial plan *)
+  retries : int;   (** transient failures that were re-queued *)
+  total_rounds : int;  (** executed + idle *)
+  idle_rounds : int;   (** rounds where everything was backing off *)
+  rounds_lost : int;   (** attempted transfers that did not complete *)
+}
+
+exception Plan_rejected of string
+(** A (re)plan failed its own certification — a planner bug, never a
+    fault-injection outcome. *)
+
+(** [run ~policy inst] migrates [inst] to completion (or quarantine).
+    [rng] seeds the planners (default: a fixed state — pass one for
+    independent runs); [jobs] is {!Pipeline.solve}'s worker-domain
+    budget; [choose] the per-component selection rule (default
+    {!Pipeline.auto_choose}); [round_budget] caps total rounds
+    (default [16 * items + 64]).  [incremental] (default [true])
+    enables the warm start: components untouched by faults keep their
+    projected rounds and only dirty ones re-solve — pass [false] to
+    re-solve the whole residual at every replan (the oracle baseline
+    the benchmarks compare against).
+    @raise Invalid_argument on a negative retry/backoff/budget. *)
+val run :
+  ?rng:Random.State.t ->
+  ?jobs:int ->
+  ?max_retries:int ->
+  ?backoff_base:int ->
+  ?round_budget:int ->
+  ?incremental:bool ->
+  ?choose:(Instance.t -> Solver.t) ->
+  policy:policy ->
+  Instance.t ->
+  outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -26,6 +26,7 @@ module Pipeline = Pipeline
 module Instr = Instr
 module Certify = Certify
 module Shrink = Shrink
+module Engine = Engine
 
 (** Planner selection. *)
 type algorithm =

@@ -381,3 +381,141 @@ let run ?(size = 12) ?solvers ?(exact_budget = 300_000) ?(exact_max_items = 10)
     total_runs = !total_runs;
     failures = List.rev !failures;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection fuzzing: drive the execution engine over generated
+   instances and certify every execution with
+   [Certify.certify_execution].  The fault policy constructor comes in
+   as a parameter — the seeded implementation lives in the simulation
+   layer ([Storsim.Fault.engine_policy]), which depends on this
+   library's host and must not be depended on back. *)
+
+type engine_failure = {
+  ef_family : string;
+  ef_seed : int;
+  ef_size : int;
+  ef_messages : string list;
+}
+
+type engine_totals = {
+  eng_instances : int;
+  eng_completed : int;
+  eng_quarantined : int;
+  eng_replans : int;
+  eng_retries : int;
+  eng_rounds : int;
+  eng_idle_rounds : int;
+}
+
+type engine_report = {
+  eng_per_family : (string * engine_totals) list;
+  eng_totals : engine_totals;
+  eng_failures : engine_failure list;
+}
+
+let zero_totals =
+  {
+    eng_instances = 0;
+    eng_completed = 0;
+    eng_quarantined = 0;
+    eng_replans = 0;
+    eng_retries = 0;
+    eng_rounds = 0;
+    eng_idle_rounds = 0;
+  }
+
+let add_totals t (o : M.Engine.outcome) =
+  {
+    eng_instances = t.eng_instances + 1;
+    eng_completed = t.eng_completed + o.M.Engine.completed;
+    eng_quarantined = t.eng_quarantined + List.length o.M.Engine.quarantined;
+    eng_replans = t.eng_replans + o.M.Engine.replans;
+    eng_retries = t.eng_retries + o.M.Engine.retries;
+    eng_rounds = t.eng_rounds + o.M.Engine.total_rounds;
+    eng_idle_rounds = t.eng_idle_rounds + o.M.Engine.idle_rounds;
+  }
+
+let c_executions = M.Instr.counter "fuzz.engine.executions"
+let c_exec_violations = M.Instr.counter "fuzz.engine.violations"
+
+(* one engine run, executed on the pool: generate, run, certify.
+   Pure w.r.t. shared state — the engine RNG and the policy are both
+   derived from the cell's own seed — so evaluation order is free. *)
+let eval_engine_cell ~size ~policy (fam, iseed) =
+  let inst = Families.instance fam ~seed:iseed ~size in
+  let n_items = M.Instance.n_items inst in
+  match
+    M.Engine.run ~rng:(run_rng iseed "engine")
+      ~policy:(policy ~inst ~seed:iseed) inst
+  with
+  | exception M.Engine.Plan_rejected msg ->
+      Error [ "replan rejected mid-flight: " ^ msg ]
+  | (o : M.Engine.outcome) ->
+      let v = M.Certify.certify_execution o.M.Engine.execution in
+      let messages =
+        List.map M.Certify.exec_violation_to_string v.M.Certify.exec_violations
+      in
+      let accounting =
+        let q = List.length o.M.Engine.quarantined in
+        if o.M.Engine.completed + q <> n_items then
+          [
+            Printf.sprintf
+              "accounting broken: %d completed + %d quarantined <> %d items"
+              o.M.Engine.completed q n_items;
+          ]
+        else []
+      in
+      (match messages @ accounting with [] -> Ok o | msgs -> Error msgs)
+
+let run_engine ?(size = 12) ?(jobs = 1) ~policy ~families ~count ~seed () =
+  let pool = if jobs > 1 then Some (Exec.create ~jobs) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Exec.shutdown pool)
+  @@ fun () ->
+  let specs =
+    List.concat_map
+      (fun fam ->
+        List.init count (fun index -> (fam, derived_seed ~base:seed ~index)))
+      families
+  in
+  (* parallel stage: each cell runs the engine sequentially (the
+     engine's own [jobs] stays 1 — parallelism lives at cell
+     granularity here); merge below is sequential in submission order,
+     so the report is byte-identical at every [jobs] *)
+  let outcomes = Exec.map ?pool (eval_engine_cell ~size ~policy) specs in
+  let failures = ref [] in
+  let totals = ref zero_totals in
+  let eng_per_family =
+    List.map
+      (fun fam ->
+        let t = ref zero_totals in
+        List.iter2
+          (fun (fam', iseed) outcome ->
+            if fam'.Families.name = fam.Families.name then begin
+              M.Instr.bump c_executions;
+              match outcome with
+              | Ok o ->
+                  t := add_totals !t o;
+                  totals := add_totals !totals o
+              | Error msgs ->
+                  M.Instr.bump c_exec_violations;
+                  t := { !t with eng_instances = !t.eng_instances + 1 };
+                  totals :=
+                    { !totals with eng_instances = !totals.eng_instances + 1 };
+                  failures :=
+                    {
+                      ef_family = fam.Families.name;
+                      ef_seed = iseed;
+                      ef_size = size;
+                      ef_messages = msgs;
+                    }
+                    :: !failures
+            end)
+          specs outcomes;
+        (fam.Families.name, !t))
+      families
+  in
+  {
+    eng_per_family;
+    eng_totals = !totals;
+    eng_failures = List.rev !failures;
+  }

@@ -88,3 +88,56 @@ val run :
   seed:int ->
   unit ->
   report
+
+(** {1 Fault-injection fuzzing}
+
+    Instead of certifying {e plans}, drive {!Migration.Engine.run} over
+    generated instances under an injected fault policy and certify
+    every {e execution} with {!Migration.Certify.certify_execution}:
+    exactly-once completion modulo the quarantine, per-round loads
+    under the degraded capacities in force, no traffic through crashed
+    disks, executed rounds within the certified replan budget. *)
+
+type engine_failure = {
+  ef_family : string;
+  ef_seed : int;   (** regenerate with [Families.instance ~seed ~size] *)
+  ef_size : int;
+  ef_messages : string list;
+}
+
+type engine_totals = {
+  eng_instances : int;
+  eng_completed : int;     (** items completed across all executions *)
+  eng_quarantined : int;
+  eng_replans : int;
+  eng_retries : int;
+  eng_rounds : int;        (** executed (non-idle) rounds *)
+  eng_idle_rounds : int;
+}
+
+type engine_report = {
+  eng_per_family : (string * engine_totals) list;  (** input order *)
+  eng_totals : engine_totals;
+  eng_failures : engine_failure list;
+}
+
+(** [run_engine ~policy ~families ~count ~seed ()] runs the engine on
+    [count] instances per family.  [policy ~inst ~seed] builds the
+    fault policy for one cell — pass
+    [Storsim.Fault.engine_policy]-based closures from callers that
+    link the simulation layer (this library deliberately does not).
+    The constructor must be deterministic in [(inst, seed)].
+
+    [jobs] parallelizes at cell granularity on an {!Exec} pool (each
+    cell runs the engine with its internal [jobs = 1]); the merge is
+    sequential in (family, index) submission order, so the report is
+    byte-identical for every [jobs] value. *)
+val run_engine :
+  ?size:int ->
+  ?jobs:int ->
+  policy:(inst:Migration.Instance.t -> seed:int -> Migration.Engine.policy) ->
+  families:Families.family list ->
+  count:int ->
+  seed:int ->
+  unit ->
+  engine_report

@@ -25,6 +25,18 @@ let capture ~disks ?sizes (job : Cluster.job) sched =
     durations = Bandwidth.round_durations ~disks ?sizes job sched;
   }
 
+let capture_execution ~disks ?sizes (job : Cluster.job)
+    (x : Migration.Certify.execution) =
+  (* attempted transfers per executed round: failed transfers held
+     their streams for the full round, so that is what the chart (and
+     the duration model) must show *)
+  let pseudo =
+    Migration.Schedule.of_rounds
+      (Array.of_list
+         (List.map (fun r -> r.Migration.Certify.attempted) x.Migration.Certify.log))
+  in
+  capture ~disks ?sizes job pseudo
+
 let n_rounds t = Array.length t.counts
 let n_disks t = Array.length t.caps
 

@@ -16,6 +16,16 @@ val capture :
   disks:Disk.t array -> ?sizes:float array -> Cluster.job ->
   Migration.Schedule.t -> t
 
+(** [capture_execution ~disks job x] charts an {e executed} migration
+    ({!Migration.Engine.run}'s flight log) instead of a plan: one
+    column per executed round, counting every {e attempted} transfer —
+    failed attempts held their streams for the whole round, which is
+    exactly the congestion the chart should show.  Retried transfers
+    appear in every round they were attempted. *)
+val capture_execution :
+  disks:Disk.t array -> ?sizes:float array -> Cluster.job ->
+  Migration.Certify.execution -> t
+
 val n_rounds : t -> int
 val n_disks : t -> int
 

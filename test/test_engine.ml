@@ -1,0 +1,495 @@
+(* The fault-tolerant execution engine: closed-loop simulate / detect /
+   re-plan.  Covers the fault-free identity, retry + backoff, crash
+   quarantine, capacity degradation, the determinism contract across
+   --jobs, and the execution certifier's tamper detection. *)
+
+module M = Migration
+module S = Storsim
+open Test_util
+
+let rng () = rng_of_int 0xe9e
+
+(* scripted policies: fire a fixed fault list at a given round *)
+let script ?(name = "script") events =
+  {
+    M.Engine.policy_name = name;
+    decide =
+      (fun ~round ~attempted:_ ->
+        List.concat_map (fun (r, fs) -> if r = round then fs else []) events);
+  }
+
+let check_certified outcome where =
+  let v = M.Certify.certify_execution outcome.M.Engine.execution in
+  if not (M.Certify.exec_ok v) then
+    Alcotest.failf "%s: execution rejected: %s" where
+      (String.concat "; "
+         (List.map M.Certify.exec_violation_to_string
+            v.M.Certify.exec_violations))
+
+let small_instance seed =
+  instance_of_spec
+    { gspec = { seed; n = 8; m = 40 }; cap_seed = seed + 1; menu = [ 1; 2; 3 ] }
+
+(* ------------------------------------------------------------------ *)
+(* fault-free runs are exactly the plan *)
+
+let test_no_faults_is_plan () =
+  let inst = small_instance 3 in
+  let sched, _ =
+    M.Pipeline.solve ~rng:(rng ()) ~choose:M.Pipeline.auto_choose inst
+  in
+  let o = M.Engine.run ~rng:(rng ()) ~policy:M.Engine.no_faults inst in
+  Alcotest.(check int) "all completed" (M.Instance.n_items inst) o.M.Engine.completed;
+  Alcotest.(check int) "no replans" 0 o.M.Engine.replans;
+  Alcotest.(check int) "no retries" 0 o.M.Engine.retries;
+  Alcotest.(check int) "no idle rounds" 0 o.M.Engine.idle_rounds;
+  Alcotest.(check (list (pair int int))) "nothing degraded" [] o.M.Engine.degraded;
+  Alcotest.(check string) "executed schedule = plan"
+    (M.Schedule.to_string sched)
+    (M.Schedule.to_string o.M.Engine.schedule);
+  check_valid_schedule inst o.M.Engine.schedule "fault-free execution";
+  check_certified o "fault-free"
+
+let engine_no_faults_prop =
+  qtest "engine: fault-free run completes and certifies" ~count:50
+    (instance_spec_gen ~max_n:10 ~max_m:60 ())
+    (fun spec ->
+      let inst = instance_of_spec spec in
+      let o = M.Engine.run ~rng:(rng ()) ~policy:M.Engine.no_faults inst in
+      o.M.Engine.completed = M.Instance.n_items inst
+      && M.Certify.exec_ok (M.Certify.certify_execution o.M.Engine.execution))
+
+(* ------------------------------------------------------------------ *)
+(* transient failures: bounded retry with exponential backoff *)
+
+let test_transient_retry () =
+  (* fail everything attempted in round 0 once; all items must still
+     complete, with retries recorded and the execution certified *)
+  let inst = small_instance 7 in
+  let first_round = ref None in
+  let policy =
+    {
+      M.Engine.policy_name = "fail-round-0";
+      decide =
+        (fun ~round ~attempted ->
+          if round = 0 then begin
+            first_round := Some attempted;
+            List.map (fun e -> M.Engine.Fail_transfer e) attempted
+          end
+          else []);
+    }
+  in
+  let o = M.Engine.run ~rng:(rng ()) ~policy inst in
+  let failed = match !first_round with Some l -> List.length l | None -> 0 in
+  Alcotest.(check bool) "something was attempted" true (failed > 0);
+  Alcotest.(check int) "all completed" (M.Instance.n_items inst) o.M.Engine.completed;
+  Alcotest.(check int) "each failure retried" failed o.M.Engine.retries;
+  Alcotest.(check int) "wasted transfers counted" failed o.M.Engine.rounds_lost;
+  check_certified o "transient"
+
+let test_retries_exhausted_quarantines () =
+  (* edge 0 always fails: after max_retries + 1 attempts it must land
+     in quarantine while the rest completes *)
+  let g = Mgraph.Multigraph.create ~n:4 () in
+  ignore (Mgraph.Multigraph.add_edge g 0 1);
+  ignore (Mgraph.Multigraph.add_edge g 2 3);
+  ignore (Mgraph.Multigraph.add_edge g 1 2);
+  let inst = M.Instance.create g ~caps:[| 2; 2; 2; 2 |] in
+  let policy =
+    {
+      M.Engine.policy_name = "edge-0-dead";
+      decide =
+        (fun ~round:_ ~attempted ->
+          if List.mem 0 attempted then [ M.Engine.Fail_transfer 0 ] else []);
+    }
+  in
+  let o = M.Engine.run ~rng:(rng ()) ~max_retries:3 ~policy inst in
+  Alcotest.(check int) "others completed" 2 o.M.Engine.completed;
+  (match o.M.Engine.quarantined with
+  | [ (0, M.Engine.Retries_exhausted n) ] ->
+      Alcotest.(check int) "attempts = max_retries + 1" 4 n
+  | q ->
+      Alcotest.failf "expected edge 0 quarantined for retries, got %d entries"
+        (List.length q));
+  Alcotest.(check bool) "backoff produced idle rounds" true
+    (o.M.Engine.idle_rounds > 0);
+  check_certified o "retries exhausted"
+
+let test_backoff_is_exponential () =
+  (* a single always-failing edge: attempt rounds must be spaced by at
+     least 1, 2, 4, ... (the exponential backoff windows) *)
+  let g = Mgraph.Multigraph.create ~n:2 () in
+  ignore (Mgraph.Multigraph.add_edge g 0 1);
+  let inst = M.Instance.create g ~caps:[| 1; 1 |] in
+  let attempt_rounds = ref [] in
+  let policy =
+    {
+      M.Engine.policy_name = "always-fail";
+      decide =
+        (fun ~round ~attempted ->
+          if attempted <> [] then attempt_rounds := round :: !attempt_rounds;
+          List.map (fun e -> M.Engine.Fail_transfer e) attempted);
+    }
+  in
+  let o = M.Engine.run ~rng:(rng ()) ~max_retries:4 ~backoff_base:1 ~policy inst in
+  Alcotest.(check int) "nothing completed" 0 o.M.Engine.completed;
+  let rounds = List.rev !attempt_rounds in
+  Alcotest.(check int) "max_retries + 1 attempts" 5 (List.length rounds);
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b - a) :: gaps rest
+    | _ -> []
+  in
+  List.iteri
+    (fun i gap ->
+      Alcotest.(check bool)
+        (Printf.sprintf "gap %d >= backoff %d" i (1 + (1 lsl i)))
+        true
+        (gap >= 1 + (1 lsl i)))
+    (gaps rounds);
+  check_certified o "exponential backoff"
+
+(* ------------------------------------------------------------------ *)
+(* crashes and slowdowns *)
+
+let test_crash_quarantines () =
+  let inst = small_instance 11 in
+  let g = M.Instance.graph inst in
+  let victim =
+    (* the busiest disk: maximizes quarantined edges *)
+    let best = ref 0 in
+    for v = 1 to M.Instance.n_disks inst - 1 do
+      if Mgraph.Multigraph.degree g v > Mgraph.Multigraph.degree g !best then
+        best := v
+    done;
+    !best
+  in
+  let policy = script [ (1, [ M.Engine.Crash_disk victim ]) ] in
+  let o = M.Engine.run ~rng:(rng ()) ~policy inst in
+  Alcotest.(check (list int)) "crash recorded" [ victim ] o.M.Engine.crashed;
+  Alcotest.(check bool) "something quarantined" true
+    (o.M.Engine.quarantined <> []);
+  List.iter
+    (fun (e, reason) ->
+      (match reason with
+      | M.Engine.Crashed d ->
+          Alcotest.(check int) "quarantine names the crashed disk" victim d
+      | r ->
+          Alcotest.failf "unexpected quarantine reason: %s"
+            (M.Engine.quarantine_reason_to_string r));
+      let u, v = Mgraph.Multigraph.endpoints g e in
+      Alcotest.(check bool) "quarantined edge touches the crash" true
+        (u = victim || v = victim))
+    o.M.Engine.quarantined;
+  Alcotest.(check int) "completed + quarantined = items"
+    (M.Instance.n_items inst)
+    (o.M.Engine.completed + List.length o.M.Engine.quarantined);
+  check_certified o "crash"
+
+let test_slowdown_degrades_and_respects_caps () =
+  (* slow the highest-capacity disk immediately; the execution
+     certifier replays the degraded capacity, so a schedule that kept
+     using the old cap would be rejected *)
+  let inst = small_instance 13 in
+  let victim = ref 0 in
+  for v = 1 to M.Instance.n_disks inst - 1 do
+    if M.Instance.cap inst v > M.Instance.cap inst !victim then victim := v
+  done;
+  let victim = !victim in
+  let before = M.Instance.cap inst victim in
+  let policy = script [ (0, [ M.Engine.Slow_disk victim ]) ] in
+  let o = M.Engine.run ~rng:(rng ()) ~policy inst in
+  Alcotest.(check int) "all completed" (M.Instance.n_items inst) o.M.Engine.completed;
+  if before > 1 then begin
+    Alcotest.(check (list (pair int int))) "degradation recorded"
+      [ (victim, max 1 (before / 2)) ]
+      o.M.Engine.degraded;
+    Alcotest.(check bool) "the slowdown forced a replan" true
+      (o.M.Engine.replans >= 1)
+  end;
+  check_certified o "slowdown"
+
+(* ------------------------------------------------------------------ *)
+(* seeded stochastic policy, determinism across jobs *)
+
+let outcome_fingerprint o =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (M.Schedule.to_string o.M.Engine.schedule);
+  Buffer.add_string b (Format.asprintf "%a" M.Engine.pp_outcome o);
+  List.iter
+    (fun (r : M.Certify.exec_round) ->
+      Buffer.add_string b
+        (Printf.sprintf "|a%s|c%s|x%s|s%s"
+           (String.concat "," (List.map string_of_int r.M.Certify.attempted))
+           (String.concat "," (List.map string_of_int r.M.Certify.completed))
+           (String.concat "," (List.map string_of_int r.M.Certify.crashed))
+           (String.concat ","
+              (List.map
+                 (fun (d, c) -> Printf.sprintf "%d:%d" d c)
+                 r.M.Certify.slowed))))
+    o.M.Engine.execution.M.Certify.log;
+  List.iter
+    (fun bound -> Buffer.add_string b (Printf.sprintf "|b%d" bound))
+    o.M.Engine.execution.M.Certify.replan_bounds;
+  Buffer.contents b
+
+let run_seeded ?(jobs = 1) ~seed ~fault_rate inst =
+  M.Engine.run ~rng:(rng_of_int seed) ~jobs
+    ~policy:(S.Fault.engine_policy ~fault_rate ~seed ())
+    inst
+
+let engine_faulty_certifies =
+  qtest "engine: 10% fault rate still completes and certifies" ~count:40
+    QCheck2.Gen.(
+      let* seed = int_bound 100_000 in
+      let* n = int_range 3 10 in
+      let* m = int_range 1 60 in
+      return (seed, n, m))
+    (fun (seed, n, m) ->
+      let inst =
+        instance_of_spec
+          { gspec = { seed; n; m }; cap_seed = seed + 7; menu = [ 1; 2; 4 ] }
+      in
+      let o = run_seeded ~seed ~fault_rate:0.1 inst in
+      o.M.Engine.completed = M.Instance.n_items inst
+      && M.Certify.exec_ok (M.Certify.certify_execution o.M.Engine.execution))
+
+let engine_jobs_deterministic =
+  let test_jobs =
+    match Sys.getenv_opt "TEST_JOBS" with
+    | Some s -> (try max 2 (int_of_string s) with _ -> 2)
+    | None -> 2
+  in
+  qtest
+    (Printf.sprintf "engine: jobs:%d outcome identical to jobs:1" test_jobs)
+    ~count:25
+    QCheck2.Gen.(
+      let* seed = int_bound 100_000 in
+      let* rate_pct = int_bound 15 in
+      return (seed, rate_pct))
+    (fun (seed, rate_pct) ->
+      let fault_rate = float_of_int rate_pct /. 100.0 in
+      let inst =
+        instance_of_spec
+          {
+            gspec = { seed; n = 9; m = 50 };
+            cap_seed = seed + 3;
+            menu = [ 1; 2; 3; 4 ];
+          }
+      in
+      let a = run_seeded ~jobs:1 ~seed ~fault_rate inst in
+      let b = run_seeded ~jobs:test_jobs ~seed ~fault_rate inst in
+      String.equal (outcome_fingerprint a) (outcome_fingerprint b))
+
+let test_crash_and_faults_together () =
+  let inst = small_instance 17 in
+  let crashes, slowdowns =
+    S.Fault.random_calamities (rng_of_int 99)
+      ~n_disks:(M.Instance.n_disks inst) ~horizon:4 ~crashes:1 ~slowdowns:1
+  in
+  let o =
+    M.Engine.run ~rng:(rng ())
+      ~policy:
+        (S.Fault.engine_policy ~fault_rate:0.05 ~crashes ~slowdowns ~seed:5 ())
+      inst
+  in
+  Alcotest.(check int) "completed + quarantined = items"
+    (M.Instance.n_items inst)
+    (o.M.Engine.completed + List.length o.M.Engine.quarantined);
+  check_certified o "calamities"
+
+(* ------------------------------------------------------------------ *)
+(* the certifier is genuinely adversarial: tampered logs are rejected *)
+
+let tamper f o =
+  let x = o.M.Engine.execution in
+  M.Certify.certify_execution (f x)
+
+let has pred v = List.exists pred v.M.Certify.exec_violations
+
+let test_certifier_catches_tampering () =
+  let inst = small_instance 23 in
+  let o = run_seeded ~seed:23 ~fault_rate:0.08 inst in
+  check_certified o "baseline";
+  (* drop one completion: exactly-once must flag the missing item *)
+  let dropped =
+    tamper
+      (fun x ->
+        let rec drop_first = function
+          | ({ M.Certify.completed = e :: rest; _ } as r) :: tl ->
+              { r with M.Certify.completed = rest } :: tl
+              |> fun l -> ignore e; l
+          | r :: tl -> r :: drop_first tl
+          | [] -> []
+        in
+        { x with M.Certify.log = drop_first x.M.Certify.log })
+      o
+  in
+  Alcotest.(check bool) "missing item flagged" true
+    (has (function M.Certify.Exec_missing _ -> true | _ -> false) dropped);
+  (* duplicate a completion *)
+  let duped =
+    tamper
+      (fun x ->
+        match x.M.Certify.log with
+        | ({ M.Certify.completed = e :: _; _ } as r0) :: tl ->
+            {
+              x with
+              M.Certify.log =
+                { r0 with M.Certify.completed = e :: r0.M.Certify.completed }
+                :: tl;
+            }
+        | _ -> x)
+      o
+  in
+  Alcotest.(check bool) "duplicate flagged" true
+    (has (function M.Certify.Exec_duplicate _ -> true | _ -> false) duped);
+  (* claim fewer certified replan rounds than were executed *)
+  let overrun = tamper (fun x -> { x with M.Certify.replan_bounds = [ 0 ] }) o in
+  Alcotest.(check bool) "round overrun flagged" true
+    (has
+       (function M.Certify.Exec_rounds_exceed_bounds _ -> true | _ -> false)
+       overrun);
+  (* complete an item that was never attempted that round *)
+  let phantom =
+    tamper
+      (fun x ->
+        match x.M.Certify.log with
+        | ({ M.Certify.attempted = e :: _; _ } as r0) :: r1 :: tl ->
+            let r1' =
+              {
+                r1 with
+                M.Certify.completed = e :: r1.M.Certify.completed;
+              }
+            in
+            { x with M.Certify.log = r0 :: r1' :: tl }
+        | _ -> x)
+      o
+  in
+  Alcotest.(check bool) "phantom completion flagged" true
+    (has
+       (function
+         | M.Certify.Exec_not_attempted _ | M.Certify.Exec_duplicate _ -> true
+         | _ -> false)
+       phantom)
+
+let test_certifier_catches_overload () =
+  (* an execution round loading a disk beyond its degraded capacity *)
+  let g = Mgraph.Multigraph.create ~n:3 () in
+  let e0 = Mgraph.Multigraph.add_edge g 0 1 in
+  let e1 = Mgraph.Multigraph.add_edge g 0 2 in
+  let inst = M.Instance.create g ~caps:[| 2; 1; 1 |] in
+  let round attempted completed slowed =
+    { M.Certify.attempted; completed; crashed = []; slowed }
+  in
+  (* fine under c_0 = 2 *)
+  let good =
+    {
+      M.Certify.instance = inst;
+      log = [ round [ e0; e1 ] [ e0; e1 ] [] ];
+      idle_rounds = 0;
+      quarantined = [];
+      replan_bounds = [ 1 ];
+    }
+  in
+  Alcotest.(check bool) "two streams fit c=2" true
+    (M.Certify.exec_ok (M.Certify.certify_execution good));
+  (* same load after disk 0 degraded to c = 1 must be rejected *)
+  let bad =
+    {
+      good with
+      M.Certify.log =
+        [ round [ e0 ] [] [ (0, 1) ]; round [ e0; e1 ] [ e0; e1 ] [] ];
+      replan_bounds = [ 2 ];
+    }
+  in
+  let v = M.Certify.certify_execution bad in
+  Alcotest.(check bool) "degraded overload rejected" true
+    (List.exists
+       (function
+         | M.Certify.Exec_overload { disk = 0; load = 2; cap = 1; _ } -> true
+         | _ -> false)
+       v.M.Certify.exec_violations)
+
+let test_certifier_catches_crashed_disk_use () =
+  let g = Mgraph.Multigraph.create ~n:2 () in
+  let e0 = Mgraph.Multigraph.add_edge g 0 1 in
+  let inst = M.Instance.create g ~caps:[| 1; 1 |] in
+  let x =
+    {
+      M.Certify.instance = inst;
+      log =
+        [
+          { M.Certify.attempted = []; completed = []; crashed = [ 1 ]; slowed = [] };
+          { M.Certify.attempted = [ e0 ]; completed = [ e0 ]; crashed = []; slowed = [] };
+        ];
+      idle_rounds = 0;
+      quarantined = [];
+      replan_bounds = [ 2 ];
+    }
+  in
+  let v = M.Certify.certify_execution x in
+  Alcotest.(check bool) "crashed disk use rejected" true
+    (List.exists
+       (function
+         | M.Certify.Exec_uses_crashed_disk { disk = 1; _ } -> true
+         | _ -> false)
+       v.M.Certify.exec_violations)
+
+(* ------------------------------------------------------------------ *)
+(* guards *)
+
+let test_guards () =
+  let inst = small_instance 1 in
+  Alcotest.check_raises "negative retries"
+    (Invalid_argument "Engine.run: max_retries must be >= 0") (fun () ->
+      ignore (M.Engine.run ~max_retries:(-1) ~policy:M.Engine.no_faults inst));
+  Alcotest.check_raises "zero backoff"
+    (Invalid_argument "Engine.run: backoff_base must be >= 1") (fun () ->
+      ignore (M.Engine.run ~backoff_base:0 ~policy:M.Engine.no_faults inst));
+  Alcotest.check_raises "bad budget"
+    (Invalid_argument "Engine.run: round_budget must be >= 1") (fun () ->
+      ignore (M.Engine.run ~round_budget:0 ~policy:M.Engine.no_faults inst));
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Fault.engine_policy: fault_rate must be in [0, 1)")
+    (fun () -> ignore (S.Fault.engine_policy ~fault_rate:1.0 ~seed:1 ()))
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "fault-free",
+        [
+          Alcotest.test_case "execution equals the plan" `Quick
+            test_no_faults_is_plan;
+          engine_no_faults_prop;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "failures retry and complete" `Quick
+            test_transient_retry;
+          Alcotest.test_case "bounded retries quarantine" `Quick
+            test_retries_exhausted_quarantines;
+          Alcotest.test_case "backoff is exponential" `Quick
+            test_backoff_is_exponential;
+        ] );
+      ( "calamities",
+        [
+          Alcotest.test_case "crash quarantines its edges" `Quick
+            test_crash_quarantines;
+          Alcotest.test_case "slowdown degrades capacity" `Quick
+            test_slowdown_degrades_and_respects_caps;
+          Alcotest.test_case "crash + slowdown + flaky together" `Quick
+            test_crash_and_faults_together;
+        ] );
+      ( "stochastic",
+        [ engine_faulty_certifies; engine_jobs_deterministic ] );
+      ( "certifier",
+        [
+          Alcotest.test_case "tampered logs rejected" `Quick
+            test_certifier_catches_tampering;
+          Alcotest.test_case "degraded overload rejected" `Quick
+            test_certifier_catches_overload;
+          Alcotest.test_case "crashed disk use rejected" `Quick
+            test_certifier_catches_crashed_disk_use;
+        ] );
+      ("guards", [ Alcotest.test_case "argument validation" `Quick test_guards ]);
+    ]

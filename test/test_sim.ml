@@ -238,6 +238,132 @@ let test_fault_guards () =
            { S.Fault.after_round = 0; disk = 0; new_cap = 0 }))
 
 (* ------------------------------------------------------------------ *)
+(* Engine fault policies *)
+
+let decisions policy ~rounds ~attempted =
+  List.init rounds (fun r -> policy.M.Engine.decide ~round:r ~attempted)
+
+let test_engine_policy_deterministic () =
+  (* decisions are a pure function of (seed, consultation history):
+     two policies from the same seed, consulted identically, must agree
+     on every draw *)
+  let mk seed =
+    S.Fault.engine_policy ~fault_rate:0.3 ~crashes:[ (4, 2) ]
+      ~slowdowns:[ (2, 5) ] ~seed ()
+  in
+  let attempted = List.init 10 Fun.id in
+  let a = decisions (mk 99) ~rounds:8 ~attempted in
+  let b = decisions (mk 99) ~rounds:8 ~attempted in
+  Alcotest.(check bool) "same seed, same decisions" true (a = b);
+  let c = decisions (mk 100) ~rounds:8 ~attempted in
+  Alcotest.(check bool) "different seed, different draws" true (a <> c)
+
+let test_engine_policy_scheduled_events () =
+  (* with rate 0 the policy is exactly its event script *)
+  let p =
+    S.Fault.engine_policy ~crashes:[ (3, 1) ] ~slowdowns:[ (5, 2) ] ~seed:1 ()
+  in
+  for r = 0 to 7 do
+    let faults = p.M.Engine.decide ~round:r ~attempted:[ 0; 1 ] in
+    let expected =
+      if r = 3 then [ M.Engine.Crash_disk 1 ]
+      else if r = 5 then [ M.Engine.Slow_disk 2 ]
+      else []
+    in
+    Alcotest.(check bool) (Printf.sprintf "round %d" r) true (faults = expected)
+  done
+
+let test_engine_policy_rate () =
+  (* rate 0: silent forever *)
+  let quiet = S.Fault.engine_policy ~seed:5 () in
+  for r = 0 to 20 do
+    Alcotest.(check bool) "no faults at rate 0" true
+      (quiet.M.Engine.decide ~round:r ~attempted:(List.init 6 Fun.id) = [])
+  done;
+  (* high rate: failures happen, and only ever name attempted edges *)
+  let p = S.Fault.engine_policy ~fault_rate:0.9 ~seed:3 () in
+  let attempted = [ 2; 7; 11 ] in
+  let all =
+    List.concat (List.init 30 (fun r -> p.M.Engine.decide ~round:r ~attempted))
+  in
+  Alcotest.(check bool) "some failures at rate 0.9" true (all <> []);
+  Alcotest.(check bool) "only attempted edges fail" true
+    (List.for_all
+       (function
+         | M.Engine.Fail_transfer e -> List.mem e attempted
+         | _ -> false)
+       all)
+
+let test_engine_policy_guards () =
+  Alcotest.check_raises "rate 1"
+    (Invalid_argument "Fault.engine_policy: fault_rate must be in [0, 1)")
+    (fun () -> ignore (S.Fault.engine_policy ~fault_rate:1.0 ~seed:0 ()));
+  Alcotest.check_raises "negative round"
+    (Invalid_argument "Fault.engine_policy: negative round") (fun () ->
+      ignore (S.Fault.engine_policy ~crashes:[ (-1, 0) ] ~seed:0 ()))
+
+let test_random_calamities () =
+  let draw seed =
+    S.Fault.random_calamities (rng_of_int seed) ~n_disks:10 ~horizon:6
+      ~crashes:3 ~slowdowns:4
+  in
+  let crashes, slows = draw 11 in
+  Alcotest.(check int) "crash count" 3 (List.length crashes);
+  Alcotest.(check int) "slowdown count" 4 (List.length slows);
+  let disks = List.map snd (crashes @ slows) in
+  Alcotest.(check int) "distinct disks" 7
+    (List.length (List.sort_uniq compare disks));
+  List.iter
+    (fun (r, d) ->
+      Alcotest.(check bool) "round in [0, horizon)" true (r >= 0 && r < 6);
+      Alcotest.(check bool) "disk in range" true (d >= 0 && d < 10))
+    (crashes @ slows);
+  Alcotest.(check bool) "deterministic under the rng seed" true
+    (draw 11 = draw 11);
+  Alcotest.check_raises "too many events"
+    (Invalid_argument "Fault.random_calamities: more events than disks")
+    (fun () ->
+      ignore
+        (S.Fault.random_calamities (rng_of_int 0) ~n_disks:2 ~horizon:4
+           ~crashes:2 ~slowdowns:1))
+
+let test_trace_capture_execution () =
+  (* an executed (faulty) migration charts like a plan: one column per
+     executed round, streams counted from the attempted lists *)
+  let caps = Array.init 6 (fun i -> 1 + (i mod 3)) in
+  let disks = Array.mapi (fun id cap -> S.Disk.make ~id ~cap ()) caps in
+  let g = Mgraph.Multigraph.create ~n:6 () in
+  let n_items = 30 in
+  let rng = rng_of_int 41 in
+  let items = Array.init n_items Fun.id in
+  let sources = Array.make n_items 0 and targets = Array.make n_items 0 in
+  for e = 0 to n_items - 1 do
+    let u = Random.State.int rng 6 in
+    let v = (u + 1 + Random.State.int rng 5) mod 6 in
+    ignore (Mgraph.Multigraph.add_edge g u v);
+    sources.(e) <- u;
+    targets.(e) <- v
+  done;
+  let inst = M.Instance.create g ~caps in
+  let job = { S.Cluster.instance = inst; items; sources; targets } in
+  let policy = S.Fault.engine_policy ~fault_rate:0.2 ~seed:17 () in
+  let outcome = M.Engine.run ~rng:(rng_of_int 41) ~policy inst in
+  let exec = outcome.M.Engine.execution in
+  Alcotest.(check bool) "execution certifies" true
+    (M.Certify.exec_ok (M.Certify.certify_execution exec));
+  let t = S.Trace.capture_execution ~disks job exec in
+  Alcotest.(check int) "one column per executed round"
+    (List.length exec.M.Certify.log)
+    (S.Trace.n_rounds t);
+  Alcotest.(check int) "disks" 6 (S.Trace.n_disks t);
+  Array.iter
+    (fun u ->
+      Alcotest.(check bool) "utilization in [0,1]" true
+        (u >= 0.0 && u <= 1.0 +. 1e-9))
+    (S.Trace.utilization_by_disk t);
+  Alcotest.(check bool) "renders" true (String.length (S.Trace.render t) > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Async_exec *)
 
 let random_job seed n_disks n_items =
@@ -558,6 +684,18 @@ let () =
           Alcotest.test_case "degrade mid-flight" `Quick test_fault_degrade;
           Alcotest.test_case "immediate change" `Quick test_fault_immediate;
           Alcotest.test_case "guards" `Quick test_fault_guards;
+        ] );
+      ( "engine-policy",
+        [
+          Alcotest.test_case "deterministic under seed" `Quick
+            test_engine_policy_deterministic;
+          Alcotest.test_case "scheduled events" `Quick
+            test_engine_policy_scheduled_events;
+          Alcotest.test_case "transient rate" `Quick test_engine_policy_rate;
+          Alcotest.test_case "guards" `Quick test_engine_policy_guards;
+          Alcotest.test_case "random calamities" `Quick test_random_calamities;
+          Alcotest.test_case "capture_execution" `Quick
+            test_trace_capture_execution;
         ] );
       ( "async_exec",
         [
