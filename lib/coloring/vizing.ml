@@ -1,8 +1,11 @@
 module Multigraph = Mgraph.Multigraph
 module Ec = Edge_coloring
 
-let fallbacks = ref 0
-let last_fallbacks () = !fallbacks
+(* Atomic: Vizing runs inside parallel Pipeline component solves, so
+   concurrent colorings may bump this concurrently.  The value is a
+   per-[color]-call diagnostic; tests that read it run sequentially. *)
+let fallbacks = Atomic.make 0
+let last_fallbacks () = Atomic.get fallbacks
 
 (* With palette Δ+1 and unit capacities every node always has a free
    color. *)
@@ -123,7 +126,7 @@ let color_edge t u e0 =
     | None ->
         (* Should be unreachable by the Misra–Gries invariant; recover
            soundly rather than crash. *)
-        incr fallbacks;
+        Atomic.incr fallbacks;
         if not (Recolor.try_color_edge t e0) then begin
           let c' = Ec.add_color t in
           Ec.assign t e0 c'
@@ -133,7 +136,7 @@ let color_edge t u e0 =
 let color g =
   if not (Multigraph.is_simple g) then
     invalid_arg "Vizing.color: graph must be simple";
-  fallbacks := 0;
+  Atomic.set fallbacks 0;
   let palette = Multigraph.max_degree g + 1 in
   let t = Ec.create g ~cap:(fun _ -> 1) ~colors:(max 1 palette) in
   Multigraph.iter_edges g (fun { Multigraph.id; u; _ } -> color_edge t u id);

@@ -1,0 +1,62 @@
+(** Heterogeneous data migration — the paper's primary contribution.
+
+    Umbrella module re-exporting the library and providing the
+    top-level planner API: build an {!Instance}, pick an algorithm,
+    get a validated {!Schedule}. *)
+
+module Instance = Instance
+module Schedule = Schedule
+module Lower_bounds = Lower_bounds
+module Even_optimal = Even_optimal
+module Split_graph = Split_graph
+module Hetero_coloring = Hetero_coloring
+module Saia = Saia
+module Exact = Exact
+module Halving = Halving
+module Completion_time = Completion_time
+module Forwarding = Forwarding
+module Space = Space
+module Cloning = Cloning
+module Refine = Refine
+module Orbits = Orbits
+module Diagnostics = Diagnostics
+module Deadline = Deadline
+module Solver = Solver
+module Pipeline = Pipeline
+module Instr = Instr
+module Certify = Certify
+module Shrink = Shrink
+module Engine = Engine
+
+(** Planner selection. *)
+type algorithm =
+  | Auto
+      (** {!Even_opt} when every constraint is even (optimal,
+          Theorem 4.1), {!Hetero} otherwise. *)
+  | Even_opt  (** Section IV; requires all-even constraints. *)
+  | Hetero  (** Section V general algorithm. *)
+  | Saia_split  (** 1.5-approximation baseline. *)
+  | Greedy  (** first-fit baseline. *)
+  | Orbit_driven
+      (** Section V-C1 realized through the explicit orbit/witness
+          structures ({!Orbits.color_via_orbits}); structurally
+          faithful, slower than {!Hetero}. *)
+
+val algorithm_to_string : algorithm -> string
+val algorithm_of_string : string -> algorithm option
+val all_algorithms : algorithm list
+
+(** The {!Solver.t} behind each legacy variant.  [Auto] is the
+    decompose/solve/merge pipeline ({!Pipeline.auto}); the others are
+    the registered built-ins. *)
+val solver_of_algorithm : algorithm -> Solver.t
+
+(** [plan ?rng alg inst] computes a feasible schedule.  Every algorithm
+    returns a schedule that passes {!Schedule.validate}; they differ
+    in how close to the optimum round count they land (see
+    EXPERIMENTS.md).
+
+    Thin compatibility shim over the {!Solver} registry: new code
+    should resolve a {!Solver.t} (or call {!Pipeline.solve}) directly. *)
+val plan :
+  ?rng:Random.State.t -> ?jobs:int -> algorithm -> Instance.t -> Schedule.t

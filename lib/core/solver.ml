@@ -10,6 +10,9 @@ type t = {
 (* Registration order is the presentation order (CLI listings), so
    keep a list rather than a table; the registry stays tiny. *)
 let registry : t list ref = ref []
+[@@lint.domain_safe
+  "mutated only by [register] at module-initialization time, before any \
+   worker domain exists; read-only during solves"]
 
 let register s =
   registry := List.filter (fun s' -> s'.name <> s.name) !registry @ [ s ]

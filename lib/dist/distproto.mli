@@ -1,0 +1,5 @@
+(** Umbrella module for the distributed orchestration protocol. *)
+
+module Message = Message
+module Net = Net
+module Runner = Runner

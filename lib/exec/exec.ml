@@ -39,9 +39,9 @@ let rec worker_loop p w =
   | None -> Mutex.unlock p.mu
   | Some task ->
       Mutex.unlock p.mu;
-      let t0 = Unix.gettimeofday () in
+      let t0 = Probes.now_s () in
       task ();
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Probes.now_s () -. t0 in
       p.busy.(w) <- p.busy.(w) +. dt;
       Probes.record p.busy_timers.(w) dt;
       worker_loop p w
@@ -62,7 +62,10 @@ let create ~jobs =
         (* registered here, on the caller domain: workers only ever
            Probes.record into their own preexisting cell *)
         Array.init workers (fun w ->
-            Probes.timer (Printf.sprintf "exec.domain%d.busy" w));
+            (Probes.timer
+               (Printf.sprintf "exec.domain%d.busy" w)
+            [@lint.allow
+              "probes: per-domain cells are parameterized by worker index"]));
     }
   in
   if workers > 0 then

@@ -1,0 +1,5 @@
+(** Umbrella module for the max-flow substrate. *)
+
+module Flow_network = Flow_network
+module Max_flow = Max_flow
+module Bmatching = Bmatching

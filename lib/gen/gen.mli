@@ -1,0 +1,11 @@
+(** Adversarial instance generation and the differential fuzz loop.
+
+    [Gen] itself is the family surface ({!Families} included
+    directly, so callers write [Gen.family_of_string]); the harness
+    lives under {!Gen.Fuzz}. *)
+
+include module type of struct
+  include Families
+end
+
+module Fuzz = Fuzz

@@ -1,38 +1,64 @@
-type counter = { c_name : string; mutable count : int }
+type counter = { c_name : string; count : int Atomic.t }
 
-type timer = { t_name : string; mutable total_s : float; mutable spans : int }
+type timer = {
+  t_name : string;
+  t_lock : Mutex.t;
+  mutable total_s : float;
+  mutable spans : int;
+}
 
 (* Registries keep insertion handles so cells survive reset; the hot
-   path never touches these tables. *)
+   path (bump/record) never touches these tables.  Registration can
+   race — Exec workers may force a lazily-initialized module — so both
+   tables are guarded by [registry_lock]; counter cells are a single
+   Atomic and timer cells take their own lock, making every operation
+   safe from any domain. *)
+let registry_lock = Mutex.create ()
+
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+[@@lint.domain_safe "every access goes through registry_lock"]
+
 let timers : (string, timer) Hashtbl.t = Hashtbl.create 32
+[@@lint.domain_safe "every access goes through registry_lock"]
+
+let locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; count = 0 } in
-      Hashtbl.add counters name c;
-      c
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; count = Atomic.make 0 } in
+          Hashtbl.add counters name c;
+          c)
 
-let bump ?(by = 1) c = c.count <- c.count + by
-let counter_value c = c.count
+let bump ?(by = 1) c = ignore (Atomic.fetch_and_add c.count by)
+let counter_value c = Atomic.get c.count
 
 let timer name =
-  match Hashtbl.find_opt timers name with
-  | Some t -> t
-  | None ->
-      let t = { t_name = name; total_s = 0.0; spans = 0 } in
-      Hashtbl.add timers name t;
-      t
+  locked (fun () ->
+      match Hashtbl.find_opt timers name with
+      | Some t -> t
+      | None ->
+          let t =
+            { t_name = name; t_lock = Mutex.create (); total_s = 0.0; spans = 0 }
+          in
+          Hashtbl.add timers name t;
+          t)
 
 let record t seconds =
+  Mutex.lock t.t_lock;
   t.total_s <- t.total_s +. seconds;
-  t.spans <- t.spans + 1
+  t.spans <- t.spans + 1;
+  Mutex.unlock t.t_lock
+
+let now_s () = Unix.gettimeofday ()
 
 let time t f =
-  let t0 = Sys.time () in
-  Fun.protect ~finally:(fun () -> record t (Sys.time () -. t0)) f
+  let t0 = now_s () in
+  Fun.protect ~finally:(fun () -> record t (now_s () -. t0)) f
 
 type span = { total_s : float; count : int }
 
@@ -42,28 +68,35 @@ type snapshot = {
 }
 
 let reset () =
-  Hashtbl.iter (fun _ (c : counter) -> c.count <- 0) counters;
-  Hashtbl.iter
-    (fun _ (t : timer) ->
-      t.total_s <- 0.0;
-      t.spans <- 0)
-    timers
+  locked (fun () ->
+      Hashtbl.iter (fun _ (c : counter) -> Atomic.set c.count 0) counters;
+      Hashtbl.iter
+        (fun _ (t : timer) ->
+          Mutex.lock t.t_lock;
+          t.total_s <- 0.0;
+          t.spans <- 0;
+          Mutex.unlock t.t_lock)
+        timers)
 
 let snapshot () =
-  let cs =
-    Hashtbl.fold
-      (fun name (c : counter) acc -> (name, c.count) :: acc)
-      counters []
-    |> List.sort compare
-  in
-  let ts =
-    Hashtbl.fold
-      (fun name (t : timer) acc ->
-        (name, { total_s = t.total_s; count = t.spans }) :: acc)
-      timers []
-    |> List.sort compare
-  in
-  { counters = cs; timers = ts }
+  locked (fun () ->
+      let cs =
+        Hashtbl.fold
+          (fun name (c : counter) acc -> (name, Atomic.get c.count) :: acc)
+          counters []
+        |> List.sort compare
+      in
+      let ts =
+        Hashtbl.fold
+          (fun name (t : timer) acc ->
+            Mutex.lock t.t_lock;
+            let sp = { total_s = t.total_s; count = t.spans } in
+            Mutex.unlock t.t_lock;
+            (name, sp) :: acc)
+          timers []
+        |> List.sort compare
+      in
+      { counters = cs; timers = ts })
 
 (* Names are ["subsystem.event"] identifiers — no quotes, backslashes
    or control characters — but escape defensively anyway. *)

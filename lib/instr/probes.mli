@@ -7,10 +7,15 @@
 
     Design constraints:
 
-    - {b cheap}: a counter is a named [int ref]; bumping it is a
-      single store.  Cells are created once (at module initialization
-      of the instrumented code) and looked up never again, so the hot
-      path carries no hashing.
+    - {b cheap}: a counter is a named [int Atomic.t]; bumping it is a
+      single fetch-and-add.  Cells are created once (at module
+      initialization of the instrumented code) and looked up never
+      again, so the hot path carries no hashing.
+    - {b domain-safe}: cells are shared across the Exec worker
+      domains.  Counters are atomic, timers take a per-cell lock, and
+      the registries are guarded by a single registration mutex, so
+      concurrent bumps, records, registrations, {!reset} and
+      {!snapshot} never lose updates or tear reads.
     - {b always-on}: there is no enable flag to thread through APIs.
       Callers that want a per-run view call {!reset} first and
       {!snapshot} after.
@@ -41,6 +46,14 @@ val time : timer -> (unit -> 'a) -> 'a
 
 (** [record t seconds] adds an externally-measured span. *)
 val record : timer -> float -> unit
+
+(** Wall-clock reading, for callers measuring their own spans before
+    {!record}.  This is the {e only} sanctioned wall-clock source for
+    library code: migrate-lint's determinism rule bans direct
+    [Unix.gettimeofday] / [Sys.time] calls outside [lib/instr], so
+    timing stays inside the instrumentation layer and can never leak
+    into planning decisions. *)
+val now_s : unit -> float
 
 type span = { total_s : float; count : int }
 

@@ -1,0 +1,10 @@
+(** Umbrella module for the multigraph substrate. *)
+
+module Vec = Vec
+module Heap = Heap
+module Stats = Stats
+module Multigraph = Multigraph
+module Traversal = Traversal
+module Euler = Euler
+module Graph_gen = Graph_gen
+module Graph_io = Graph_io

@@ -1,0 +1,13 @@
+(** Umbrella module for the storage-cluster simulator. *)
+
+module Disk = Disk
+module Network = Network
+module Placement = Placement
+module Cluster = Cluster
+module Bandwidth = Bandwidth
+module Simulator = Simulator
+module Fault = Fault
+module Async_exec = Async_exec
+module Online = Online
+module Size_balance = Size_balance
+module Trace = Trace

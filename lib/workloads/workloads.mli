@@ -1,0 +1,5 @@
+(** Umbrella module for workload generation. *)
+
+module Demand = Demand
+module Layout = Layout
+module Scenarios = Scenarios

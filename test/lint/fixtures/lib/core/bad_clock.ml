@@ -1,0 +1,3 @@
+(* determinism: wall-clock reads outside lib/instr *)
+let stamp () = Unix.gettimeofday ()
+let cpu_seconds () = Sys.time ()

@@ -1,0 +1,6 @@
+(* probes: names must be literal "<layer>.<name>" identifiers *)
+let c = Probes.counter "BadProbeName"
+let t = Probes.timer "also bad"
+let d = Probes.counter ("dynamic." ^ string_of_int 3)
+let k = Probes.timer "core.good_name"
+let k2 = Probes.counter "core.good_name"

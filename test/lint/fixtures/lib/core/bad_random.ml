@@ -1,0 +1,5 @@
+(* determinism: bare global-RNG use *)
+let seed_everything () = Random.self_init ()
+let pick n = Random.int n
+let jitter () = Random.float 1.0
+let sneaky_state () = Random.State.make_self_init ()

@@ -1,0 +1,7 @@
+(* domain-safety: unguarded module-level mutable state *)
+let cache : (string, int) Hashtbl.t = Hashtbl.create 16
+let hits = ref 0
+
+type cell = { mutable value : int }
+
+let shared = { value = 0 }

@@ -1,0 +1,6 @@
+(* exception: catch-alls that swallow *)
+let run f = try f () with _ -> ()
+let quietly f = try f () with _e -> None
+
+let classify f =
+  match f () with x -> Some x | exception _ -> None

@@ -1,0 +1,10 @@
+(* suppression semantics: a reasoned [@lint.allow] / [@@lint.domain_safe]
+   silences the finding; a reasonless one is itself a finding *)
+let table : (int, int) Hashtbl.t = Hashtbl.create 8
+[@@lint.domain_safe "fixture: pretend a lock guards every access"]
+
+let lucky () =
+  (Random.int 10 [@lint.allow "determinism: fixture exercising suppression"])
+
+let unlucky () = (Random.int 10 [@lint.allow "determinism"])
+let mystery () = (Random.int 10 [@lint.allow "not-a-rule: nope"])

@@ -1,0 +1,2 @@
+(* layering: the multigraph substrate must not reach up into core *)
+let lower_bound inst = Migration.Lower_bounds.lb1 inst

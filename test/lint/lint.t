@@ -1,0 +1,86 @@
+migrate-lint over the known-bad fixture corpus: each rule family must
+fire on its fixture and exit non-zero.  The corpus mirrors the repo
+layout (fixtures/lib/<dir>/...) so path classification works exactly as
+on the real tree.
+
+  $ alias lint=../../tools/lint/main.exe
+
+Rule "determinism" — global RNG:
+
+  $ lint --rules determinism fixtures/lib/core/bad_random.ml
+  fixtures/lib/core/bad_random.ml:2 determinism bare Random.self_init uses the global RNG — thread an explicitly seeded Random.State instead
+  fixtures/lib/core/bad_random.ml:3 determinism bare Random.int uses the global RNG — thread an explicitly seeded Random.State instead
+  fixtures/lib/core/bad_random.ml:4 determinism bare Random.float uses the global RNG — thread an explicitly seeded Random.State instead
+  fixtures/lib/core/bad_random.ml:5 determinism Random.State.make_self_init draws from ambient entropy — seed the state explicitly
+  [1]
+
+Rule "determinism" — wall-clock reads outside lib/instr:
+
+  $ lint --rules determinism fixtures/lib/core/bad_clock.ml
+  fixtures/lib/core/bad_clock.ml:2 determinism wall-clock call Unix.gettimeofday — timing belongs to the instrumentation layer (Probes.now_s / Probes.time)
+  fixtures/lib/core/bad_clock.ml:3 determinism wall-clock call Sys.time — timing belongs to the instrumentation layer (Probes.now_s / Probes.time)
+  [1]
+
+Rule "domain-safety" — unguarded module-level mutable state:
+
+  $ lint --rules domain-safety fixtures/lib/core/bad_state.ml
+  fixtures/lib/core/bad_state.ml:2 domain-safety module-level mutable state (a Hashtbl.t) is shared across worker domains — guard it with Mutex/Atomic or annotate [@@lint.domain_safe "reason"]
+  fixtures/lib/core/bad_state.ml:3 domain-safety module-level mutable state (a ref cell) is shared across worker domains — guard it with Mutex/Atomic or annotate [@@lint.domain_safe "reason"]
+  fixtures/lib/core/bad_state.ml:7 domain-safety module-level mutable state (a record with mutable fields) is shared across worker domains — guard it with Mutex/Atomic or annotate [@@lint.domain_safe "reason"]
+  [1]
+
+Rule "layering" — the substrate must not reach up into core:
+
+  $ lint --rules layering fixtures/lib/mgraph/bad_layering.ml
+  fixtures/lib/mgraph/bad_layering.ml:2 layering library "mgraph" must not depend on "migration" (via module Migration) — architecture DAG violation
+  [1]
+
+Rule "exception" — catch-alls that swallow:
+
+  $ lint --rules exception fixtures/lib/core/bad_swallow.ml
+  fixtures/lib/core/bad_swallow.ml:2 exception catch-all exception handler swallows the exception — match specific exceptions, bind and report it, or re-raise
+  fixtures/lib/core/bad_swallow.ml:3 exception catch-all exception handler swallows the exception — match specific exceptions, bind and report it, or re-raise
+  fixtures/lib/core/bad_swallow.ml:6 exception catch-all exception handler swallows the exception — match specific exceptions, bind and report it, or re-raise
+  [1]
+
+Rule "probes" — non-literal, malformed, and colliding registrations:
+
+  $ lint --rules probes fixtures/lib/core/bad_probe.ml
+  fixtures/lib/core/bad_probe.ml:2 probes probe name "BadProbeName" does not match "<layer>.<name>" (lowercase dot-separated segments)
+  fixtures/lib/core/bad_probe.ml:3 probes probe name "also bad" does not match "<layer>.<name>" (lowercase dot-separated segments)
+  fixtures/lib/core/bad_probe.ml:4 probes probe name is not a string literal — the "<layer>.<name>" convention cannot be checked; extract a literal or annotate [@lint.allow "probes: ..."]
+  fixtures/lib/core/bad_probe.ml:6 probes probe "core.good_name" registered as both timer and counter (first at fixtures/lib/core/bad_probe.ml:5)
+  [1]
+
+Rule "mli-coverage" — a library module without an interface:
+
+  $ lint --rules mli-coverage fixtures/lib/core/bad_random.ml
+  fixtures/lib/core/bad_random.ml:1 mli-coverage library module has no .mli interface — declare its public surface
+  [1]
+
+Suppression semantics: a reasoned [@lint.allow "rule: reason"] (or
+[@@lint.domain_safe "reason"]) silences the finding; a reasonless or
+unknown-rule suppression is itself reported.  Note line 7's suppressed
+Random.int and the annotated Hashtbl produce no findings:
+
+  $ lint --rules determinism,domain-safety fixtures/lib/core/suppressed.ml
+  fixtures/lib/core/suppressed.ml:9 suppression [@lint.allow "determinism"] is missing its reason — write "determinism: why this is safe"
+  fixtures/lib/core/suppressed.ml:10 determinism bare Random.int uses the global RNG — thread an explicitly seeded Random.State instead
+  fixtures/lib/core/suppressed.ml:10 suppression [@lint.allow] names unknown rule "not-a-rule"
+  [1]
+
+The whole corpus at once, all rules — the summary exercised by CI:
+
+  $ lint fixtures | wc -l
+  27
+  $ lint fixtures > /dev/null
+  [1]
+
+Usage errors exit 2:
+
+  $ lint --rules no-such-rule fixtures
+  lint: unknown rule "no-such-rule" (try --list-rules)
+  [2]
+  $ lint no/such/path
+  lint: no such file or directory: no/such/path
+  [2]

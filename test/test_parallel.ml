@@ -57,6 +57,54 @@ let test_shutdown_idempotent () =
     (Exec.map ~pool (fun x -> 2 * x) [ 1; 2 ])
 
 (* ------------------------------------------------------------------ *)
+(* probe accounting under worker domains *)
+
+(* Four domains hammering one counter/timer pair, plus per-task
+   registration of an already-registered cell (the racy lookup path).
+   With the pre-Atomic Probes this loses updates with near certainty;
+   the contract is that parallel counts match the sequential run
+   exactly. *)
+let test_probe_counts_parallel () =
+  let c = M.Instr.counter "stress.bumps" in
+  let t = M.Instr.timer "stress.spans" in
+  let tasks = List.init 400 Fun.id in
+  let work i =
+    (* re-registration from worker domains must hand back the same cell *)
+    let c' = M.Instr.counter "stress.bumps" in
+    for _ = 1 to 250 do
+      M.Instr.bump c'
+    done;
+    M.Instr.bump ~by:2 c;
+    M.Instr.record t 0.001;
+    i
+  in
+  M.Instr.reset ();
+  let expected_list = List.map work tasks in
+  let seq_count = M.Instr.counter_value c in
+  let seq_spans =
+    let snap = M.Instr.snapshot () in
+    match List.assoc_opt "stress.spans" snap.M.Instr.timers with
+    | Some sp -> sp.M.Instr.count
+    | None -> 0
+  in
+  M.Instr.reset ();
+  Alcotest.(check int) "reset zeroes the counter" 0 (M.Instr.counter_value c);
+  let par_list =
+    Exec.with_pool ~jobs:4 (fun pool -> Exec.map ~pool work tasks)
+  in
+  let par_count = M.Instr.counter_value c in
+  let par_spans =
+    let snap = M.Instr.snapshot () in
+    match List.assoc_opt "stress.spans" snap.M.Instr.timers with
+    | Some sp -> sp.M.Instr.count
+    | None -> 0
+  in
+  Alcotest.(check (list int)) "results identical" expected_list par_list;
+  Alcotest.(check int) "bump total: --jobs 4 = sequential" seq_count par_count;
+  Alcotest.(check int) "span count: --jobs 4 = sequential" seq_spans par_spans;
+  Alcotest.(check int) "no lost bumps" (400 * 252) par_count
+
+(* ------------------------------------------------------------------ *)
 (* pipeline: jobs-independence on every generator family *)
 
 let schedule_fingerprint sched =
@@ -178,6 +226,8 @@ let () =
             test_exception_propagates;
           Alcotest.test_case "shutdown idempotent" `Quick
             test_shutdown_idempotent;
+          Alcotest.test_case "probe counts: --jobs 4 = sequential" `Quick
+            test_probe_counts_parallel;
         ] );
       ("pipeline-families", family_tests);
       ( "pipeline-components",

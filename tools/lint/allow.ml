@@ -1,0 +1,95 @@
+(* Suppression attributes.
+
+   [@lint.allow "rule: reason"] silences findings of [rule] within the
+   annotated expression, value binding, or module binding; as a
+   floating [@@@lint.allow "rule: reason"] it covers the whole file.
+   The reason is mandatory: a suppression without one is itself a
+   finding (rule "suppression"), as is an unknown rule name.
+
+   [@lint.domain_safe "reason"] is the domain-safety rule's escape
+   hatch for module-level mutable state whose locking discipline the
+   analyzer cannot see; it, too, demands a non-empty reason. *)
+
+let known_rules =
+  [
+    "determinism";
+    "domain-safety";
+    "layering";
+    "exception";
+    "probes";
+    "mli-coverage";
+  ]
+
+let payload_string : Parsetree.payload -> string option = function
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+(* "rule: reason" -> (rule, Some reason); "rule" -> (rule, None) *)
+let split spec =
+  match String.index_opt spec ':' with
+  | None -> (String.trim spec, None)
+  | Some i ->
+      let rule = String.trim (String.sub spec 0 i) in
+      let reason =
+        String.trim (String.sub spec (i + 1) (String.length spec - i - 1))
+      in
+      (rule, if reason = "" then None else Some reason)
+
+type env = { mutable frames : string list list; mutable file_wide : string list }
+
+let make () = { frames = []; file_wide = [] }
+
+let active env rule =
+  List.mem rule env.file_wide || List.exists (List.mem rule) env.frames
+
+(* Rules suppressed by one node's attributes.  [bad] receives a
+   diagnostic for each malformed suppression. *)
+let of_attributes ~bad (attrs : Parsetree.attributes) =
+  List.filter_map
+    (fun (a : Parsetree.attribute) ->
+      match a.attr_name.txt with
+      | "lint.allow" -> (
+          match payload_string a.attr_payload with
+          | None ->
+              bad a.attr_loc
+                "[@lint.allow] payload must be a string \"rule: reason\"";
+              None
+          | Some spec ->
+              let rule, reason = split spec in
+              if not (List.mem rule known_rules) then (
+                bad a.attr_loc
+                  (Printf.sprintf "[@lint.allow] names unknown rule %S" rule);
+                None)
+              else (
+                (match reason with
+                | Some _ -> ()
+                | None ->
+                    bad a.attr_loc
+                      (Printf.sprintf
+                         "[@lint.allow %S] is missing its reason — write \
+                          \"%s: why this is safe\""
+                         rule rule));
+                Some rule))
+      | "lint.domain_safe" ->
+          (match payload_string a.attr_payload with
+          | Some s when String.trim s <> "" -> ()
+          | _ ->
+              bad a.attr_loc
+                "[@lint.domain_safe] requires a non-empty reason string");
+          None
+      | _ -> None)
+    attrs
+
+let has_domain_safe (attrs : Parsetree.attributes) =
+  List.exists
+    (fun (a : Parsetree.attribute) -> a.attr_name.txt = "lint.domain_safe")
+    attrs

@@ -1,0 +1,16 @@
+(* A single lint diagnostic.  Findings print as "file:line rule message"
+   so editors and CI logs can jump straight to the offending line. *)
+
+type t = { file : string; line : int; rule : string; message : string }
+
+let v ~file ~line ~rule message = { file; line; rule; message }
+
+let order a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match compare a.line b.line with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+  | c -> c
+
+let to_string f = Printf.sprintf "%s:%d %s %s" f.file f.line f.rule f.message

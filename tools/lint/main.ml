@@ -1,0 +1,108 @@
+(* migrate-lint: repo-aware static analysis for the migration codebase.
+
+     dune exec tools/lint/main.exe -- lib bin bench
+
+   Walks every .ml under the given paths with the compiler-libs parser
+   (plus an ocamldep pass for layering) and prints findings as
+   "file:line rule message", one per line, sorted.  Exit status: 0
+   clean, 1 findings, 2 usage or internal error.  See doc/LINT.md for
+   the rule catalog and suppression semantics. *)
+
+let usage =
+  "usage: lint [--rules r1,r2] [--list-rules] PATH...\n\
+   Rules: determinism domain-safety layering exception probes mli-coverage"
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("lint: " ^ msg);
+      exit 2)
+    fmt
+
+let () =
+  let rules_filter = ref None in
+  let paths = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--list-rules" :: _ ->
+        List.iter print_endline Allow.known_rules;
+        exit 0
+    | "--rules" :: spec :: rest ->
+        let rs = String.split_on_char ',' spec |> List.map String.trim in
+        List.iter
+          (fun r ->
+            if not (List.mem r Allow.known_rules) then
+              fail "unknown rule %S (try --list-rules)" r)
+          rs;
+        rules_filter := Some rs;
+        parse_args rest
+    | "--rules" :: [] -> fail "--rules needs an argument"
+    | ("--help" | "-h") :: _ ->
+        print_endline usage;
+        exit 0
+    | p :: rest ->
+        if not (Sys.file_exists p) then fail "no such file or directory: %s" p;
+        paths := p :: !paths;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then fail "no paths given\n%s" usage;
+  let enabled r =
+    match !rules_filter with None -> true | Some rs -> List.mem r rs
+  in
+  let files = Source.discover (List.rev !paths) in
+  let ml_files =
+    List.filter
+      (fun (f : Source.file) -> Filename.check_suffix f.path ".ml")
+      files
+  in
+  let file_allows : (string, string list) Hashtbl.t = Hashtbl.create 64 in
+  let file_allowed path rule =
+    match Hashtbl.find_opt file_allows path with
+    | Some rules -> List.mem rule rules
+    | None -> false
+  in
+  let probes_state = Rule_probes.create () in
+  let ast_findings =
+    List.concat_map
+      (fun (file : Source.file) ->
+        match Source.parse_implementation file.path with
+        | exception exn ->
+            [
+              Finding.v ~file:file.path ~line:1 ~rule:"parse"
+                (Printexc.to_string exn);
+            ]
+        | str ->
+            let make_checks emit =
+              List.concat
+                [
+                  (if enabled "determinism" then
+                     [ Rule_determinism.check file emit ]
+                   else []);
+                  (if enabled "domain-safety" then
+                     [ Rule_domain_safety.check file str emit ]
+                   else []);
+                  (if enabled "exception" then
+                     [ Rule_exception.check file emit ]
+                   else []);
+                  (if enabled "probes" then
+                     [ Rule_probes.check probes_state file emit ]
+                   else []);
+                ]
+            in
+            let findings, allows = Walk.run ~file ~make_checks str in
+            Hashtbl.replace file_allows file.path allows;
+            findings)
+      ml_files
+  in
+  let layering =
+    if enabled "layering" then Rule_layering.run files ~file_allowed else []
+  in
+  let mli =
+    if enabled "mli-coverage" then Rule_mli.run files ~file_allowed else []
+  in
+  let all =
+    List.sort Finding.order (List.concat [ ast_findings; layering; mli ])
+  in
+  List.iter (fun f -> print_endline (Finding.to_string f)) all;
+  if all <> [] then exit 1

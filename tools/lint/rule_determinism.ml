@@ -1,0 +1,56 @@
+(* Rule "determinism": reproducibility is a hard contract (bit-identical
+   schedules at any --jobs, (seed, family, size) as a complete
+   reproducer), so library code may not consult ambient entropy.
+
+   Banned under lib/:
+   - any value of the global-state [Random] module (Random.self_init,
+     Random.int, ...) — randomness must flow through an explicitly
+     seeded [Random.State.t];
+   - [Random.State.make_self_init] — a seeded state from an unseeded
+     source;
+   - wall-clock reads ([Unix.gettimeofday], [Unix.time], [Sys.time])
+     outside lib/instr — timing belongs to the instrumentation layer
+     ([Probes.now_s] / [Probes.time]), which keeps it out of planning
+     decisions.
+
+   bin/ and bench/ are exempt: the CLI seeds states from user flags
+   and the benchmarks legitimately measure wall time. *)
+
+let rule = "determinism"
+
+let wall_clock = function
+  | [ "Unix"; "gettimeofday" ]
+  | [ "Unix"; "time" ]
+  | [ "Sys"; "time" ]
+  | [ "Stdlib"; "Sys"; "time" ] ->
+      true
+  | _ -> false
+
+let check (file : Source.file) (emit : Walk.emit) =
+  match file.scope with
+  | Lib lib ->
+      let on_expr (e : Parsetree.expression) =
+        match e.pexp_desc with
+        | Pexp_ident { txt; loc } -> (
+            match Util.flatten txt with
+            | [ "Random"; "State"; "make_self_init" ] ->
+                emit ~rule ~loc
+                  "Random.State.make_self_init draws from ambient entropy \
+                   — seed the state explicitly"
+            | [ "Random"; fn ] ->
+                emit ~rule ~loc
+                  (Printf.sprintf
+                     "bare Random.%s uses the global RNG — thread an \
+                      explicitly seeded Random.State instead"
+                     fn)
+            | path when wall_clock path && lib <> "probes" ->
+                emit ~rule ~loc
+                  (Printf.sprintf
+                     "wall-clock call %s — timing belongs to the \
+                      instrumentation layer (Probes.now_s / Probes.time)"
+                     (String.concat "." path))
+            | _ -> ())
+        | _ -> ()
+      in
+      { Walk.no_check with on_expr }
+  | _ -> Walk.no_check

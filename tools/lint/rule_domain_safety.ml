@@ -1,0 +1,117 @@
+(* Rule "domain-safety": Pipeline.solve ?jobs, Gen.Fuzz.run ?jobs and
+   the fault-injection engine fuzz mode all run library code on worker
+   domains (Exec.map), so module-level mutable state anywhere under
+   lib/ is shared mutable state.  A binding whose value is (or
+   contains, in a value position) a ref cell, Hashtbl, Queue, Stack,
+   Buffer, mutable array/bytes, or a record with mutable fields is
+   flagged unless
+
+   - it is itself a guard or safe cell (Mutex.create, Atomic.make,
+     Domain.DLS.new_key), or
+   - it carries [@@lint.domain_safe "reason"] stating the locking or
+     single-writer discipline that makes it safe.
+
+   The scan is syntactic and value-position only: state created inside
+   a function body is per-call, and a scratch table consumed while
+   computing an immutable module-level value never escapes — neither
+   is flagged.  Hiding a ref behind a helper function defeats the
+   scan; the rule is a tripwire, not a proof. *)
+
+let rule = "domain-safety"
+
+(* Field names declared mutable anywhere in this file: a module-level
+   record literal touching one of them is mutable state. *)
+let mutable_fields (str : Parsetree.structure) =
+  let fields = ref [] in
+  let default = Ast_iterator.default_iterator in
+  let it =
+    {
+      default with
+      type_declaration =
+        (fun it (td : Parsetree.type_declaration) ->
+          (match td.ptype_kind with
+          | Ptype_record labels ->
+              List.iter
+                (fun (l : Parsetree.label_declaration) ->
+                  if l.pld_mutable = Mutable then
+                    fields := l.pld_name.txt :: !fields)
+                labels
+          | _ -> ());
+          default.type_declaration it td);
+    }
+  in
+  it.structure it str;
+  !fields
+
+let mutable_ctor = function
+  | [ "ref" ] | [ "Stdlib"; "ref" ] -> Some "a ref cell"
+  | [ "Hashtbl"; "create" ] -> Some "a Hashtbl.t"
+  | [ "Queue"; "create" ] -> Some "a Queue.t"
+  | [ "Stack"; "create" ] -> Some "a Stack.t"
+  | [ "Buffer"; "create" ] -> Some "a Buffer.t"
+  | [ "Bytes"; ("create" | "make" | "of_string") ] -> Some "mutable bytes"
+  | [ "Array"; ("make" | "create_float" | "init" | "of_list" | "copy") ] ->
+      Some "a mutable array"
+  | [ "Dynarray"; ("create" | "make" | "init" | "of_list") ] ->
+      Some "a Dynarray.t"
+  | _ -> None
+
+let is_unit_pattern (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_construct ({ txt = Lident "()"; _ }, None) -> true
+  | _ -> false
+
+let check (file : Source.file) (str : Parsetree.structure) (emit : Walk.emit) =
+  match file.scope with
+  | Lib _ ->
+      let mut_fields = mutable_fields str in
+      let on_top_binding (vb : Parsetree.value_binding) =
+        if
+          Allow.has_domain_safe vb.pvb_attributes || is_unit_pattern vb.pvb_pat
+        then ()
+        else
+          let flag loc what =
+            emit ~rule ~loc
+              (Printf.sprintf
+                 "module-level mutable state (%s) is shared across worker \
+                  domains — guard it with Mutex/Atomic or annotate \
+                  [@@lint.domain_safe \"reason\"]"
+                 what)
+          in
+          (* value positions only: what the bound name can reach *)
+          let rec tail (e : Parsetree.expression) =
+            if Allow.has_domain_safe e.pexp_attributes then ()
+            else
+              match e.pexp_desc with
+              | Pexp_let (_, _, body) -> tail body
+              | Pexp_sequence (_, b) -> tail b
+              | Pexp_ifthenelse (_, t, f) ->
+                  tail t;
+                  Option.iter tail f
+              | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+                  List.iter (fun (c : Parsetree.case) -> tail c.pc_rhs) cases
+              | Pexp_tuple es -> List.iter tail es
+              | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) -> tail e
+              | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> tail e
+              | Pexp_open (_, e) | Pexp_letmodule (_, _, e) -> tail e
+              | Pexp_array _ -> flag e.pexp_loc "an array literal"
+              | Pexp_record (fields, base) ->
+                  if
+                    List.exists
+                      (fun ((lid : Longident.t Location.loc), _) ->
+                        List.mem (Longident.last lid.txt) mut_fields)
+                      fields
+                  then flag e.pexp_loc "a record with mutable fields";
+                  List.iter (fun (_, fe) -> tail fe) fields;
+                  Option.iter tail base
+              | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _)
+                -> (
+                  match mutable_ctor (Util.flatten txt) with
+                  | Some what -> flag loc what
+                  | None -> ())
+              | _ -> ()
+          in
+          tail vb.pvb_expr
+      in
+      { Walk.no_check with on_top_binding }
+  | _ -> Walk.no_check

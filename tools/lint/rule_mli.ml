@@ -1,0 +1,21 @@
+(* Rule "mli-coverage": every library module must declare its public
+   surface in a .mli.  An interface is where invariants get written
+   down (and where the other rules' contracts become API contracts);
+   an .ml without one exports every helper by accident. *)
+
+let rule = "mli-coverage"
+
+let run (files : Source.file list) ~(file_allowed : string -> string -> bool) =
+  List.filter_map
+    (fun (f : Source.file) ->
+      match f.scope with
+      | Source.Lib _
+        when Filename.check_suffix f.path ".ml"
+             && (not (Sys.file_exists (f.path ^ "i")))
+             && not (file_allowed f.path rule) ->
+          Some
+            (Finding.v ~file:f.path ~line:1 ~rule
+               "library module has no .mli interface — declare its public \
+                surface")
+      | _ -> None)
+    files

@@ -1,0 +1,61 @@
+(* File discovery and classification.
+
+   A path is classified by its segments, not by the scan root, so the
+   fixture corpus under test/lint/fixtures/lib/... is analyzed exactly
+   like the real tree: the first "lib" segment marks a library source
+   and the following segment names the directory, which maps to the
+   dune library name. *)
+
+type scope =
+  | Lib of string  (** dune library name, e.g. "migration" for lib/core *)
+  | Bin
+  | Bench
+  | Other
+
+type file = { path : string; scope : scope }
+
+let lib_of_dir = function
+  | "core" -> "migration"
+  | "flow" -> "netflow"
+  | "sim" -> "storsim"
+  | "instr" -> "probes"
+  | "dist" -> "distproto"
+  | d -> d
+
+let classify path =
+  let rec scan = function
+    | "lib" :: dir :: _ :: _ -> Lib (lib_of_dir dir)
+    | "bin" :: _ :: _ -> Bin
+    | "bench" :: _ :: _ -> Bench
+    | _ :: rest -> scan rest
+    | [] -> Other
+  in
+  { path; scope = scan (String.split_on_char '/' path) }
+
+let is_source path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let rec find_sources acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if name = "" || name.[0] = '.' || name = "_build" then acc
+           else find_sources acc (Filename.concat path name))
+         acc
+  else if is_source path then classify path :: acc
+  else acc
+
+let discover paths =
+  List.concat_map (fun p -> List.rev (find_sources [] p)) paths
+  |> List.sort_uniq (fun a b -> String.compare a.path b.path)
+
+let parse_implementation path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Location.init lexbuf path;
+      Parse.implementation lexbuf)

@@ -1,0 +1,5 @@
+let rec flatten (lid : Longident.t) =
+  match lid with
+  | Lident s -> [ s ]
+  | Ldot (l, s) -> flatten l @ [ s ]
+  | Lapply _ -> []
