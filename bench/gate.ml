@@ -7,18 +7,40 @@
 
      - an experiment present in both files got slower than
        (1 + tolerance) x its baseline wall time, or
-     - the current run's "identical_schedules" assertion is false
-       (the parallel pipeline produced a different schedule at some
-       --jobs value — a determinism break, not a perf problem).
+     - any "identical_schedules" assertion in the current run is false
+       (a planner produced a different schedule at some --jobs value —
+       a determinism break, not a perf problem), or
+     - the current run was taken on a machine with >= 4 recommended
+       domains and a jobs=4 run (E9's multi-component pipeline or
+       E11's intra-instance even-opt) fell below the hard speedup
+       floor — parallelism that stops paying for itself is a
+       regression even when single-job wall time holds, or
+     - a solver in the current run's E11 "huge" section allocated more
+       than its steady-state budget (bytes per edge over a ~1e5-edge
+       instance; see doc/ALGORITHMS.md "Flat core & memory
+       discipline").  Budgets are several times the measured values,
+       so tripping one means a kernel re-grew a per-edge allocation
+       path, not that the timer was noisy.
 
    Experiments with a baseline under [min_wall] seconds are reported
-   but never gated: at that scale the numbers are timer noise.
+   but never gated: at that scale the numbers are timer noise.  The
+   speedup floor and allocation budgets gate the CURRENT run only, so
+   a baseline from an older bench format stays usable.
 
    The parser is a string scraper matched to our own writer's output —
    the tree has no JSON dependency and does not want one for this. *)
 
 let tolerance = ref 0.25
 let min_wall = 0.05
+let speedup_floor = 1.6
+
+(* bytes allocated per edge on the huge instance, with 3-5x headroom
+   over the values measured at the budget's introduction (greedy ~200,
+   hetero ~620, even-opt ~10900) so GC/runtime drift across OCaml
+   versions cannot trip it but a rewritten kernel that allocates per
+   edge per round will *)
+let alloc_budgets =
+  [ ("greedy", 1024.0); ("hetero", 4096.0); ("even-opt", 32768.0) ]
 
 let read_file path =
   try
@@ -39,6 +61,21 @@ let find_from hay needle from =
     else go (i + 1)
   in
   go from
+
+(* The top-level section ["key": open ... close] as a substring, e.g.
+   the "experiments" array or the "huge" object.  Our writer indents
+   top-level sections by two spaces, so the matching close delimiter is
+   the first "\n  ]" / "\n  }" after the opener — nested arrays and
+   records sit deeper and never match it. *)
+let section hay ~key ~open_ ~close =
+  let pat = Printf.sprintf "\"%s\": %c" key open_ in
+  match find_from hay pat 0 with
+  | None -> None
+  | Some i -> (
+      let start = i + String.length pat in
+      match find_from hay (Printf.sprintf "\n  %c" close) start with
+      | None -> None
+      | Some stop -> Some (String.sub hay start (stop - start)))
 
 let scrape_string hay ~key ~from =
   (* "key": "value" *)
@@ -68,24 +105,47 @@ let scrape_float hay ~key ~from =
       done;
       float_of_string_opt (String.sub hay start (!stop - start))
 
-(* every { "name": ..., "wall_s": ... } record of the experiments list *)
+(* every { "name": ..., "wall_s": ... } record of the experiments
+   array only — the huge section carries per-solver "name"/"wall_s"
+   records of its own, which must not masquerade as experiments *)
 let experiments text =
-  let rec go from acc =
-    match scrape_string text ~key:"name" ~from with
-    | None -> List.rev acc
-    | Some (name, after) -> (
-        match scrape_float text ~key:"wall_s" ~from:after with
+  match section text ~key:"experiments" ~open_:'[' ~close:']' with
+  | None -> []
+  | Some body ->
+      let rec go from acc =
+        match scrape_string body ~key:"name" ~from with
         | None -> List.rev acc
-        | Some w -> go (after + 1) ((name, w) :: acc))
+        | Some (name, after) -> (
+            match scrape_float body ~key:"wall_s" ~from:after with
+            | None -> List.rev acc
+            | Some w -> go (after + 1) ((name, w) :: acc))
+      in
+      go 0 []
+
+(* all "identical_schedules" assertions — one per parallel section *)
+let identical_schedules text =
+  let pat = "\"identical_schedules\": " in
+  let rec go from acc =
+    match find_from text pat from with
+    | None -> List.rev acc
+    | Some i ->
+        let start = i + String.length pat in
+        let v = String.length text >= start + 4 && String.sub text start 4 = "true" in
+        go (start + 1) (v :: acc)
   in
   go 0 []
 
-let identical_schedules text =
-  match find_from text "\"identical_schedules\": " 0 with
+(* speedup of the jobs=[jobs] run inside a section's "runs" array *)
+let speedup_at section_body ~jobs =
+  match find_from section_body (Printf.sprintf "\"jobs\": %d" jobs) 0 with
   | None -> None
-  | Some i ->
-      let start = i + String.length "\"identical_schedules\": " in
-      Some (String.length text > start + 3 && String.sub text start 4 = "true")
+  | Some i -> scrape_float section_body ~key:"speedup" ~from:i
+
+(* bytes_per_edge of the named solver inside the huge section *)
+let bytes_per_edge huge_body ~solver =
+  match find_from huge_body (Printf.sprintf "\"name\": %S" solver) 0 with
+  | None -> None
+  | Some i -> scrape_float huge_body ~key:"bytes_per_edge" ~from:i
 
 let () =
   let positional = ref [] in
@@ -143,12 +203,69 @@ let () =
             verdict)
     base_exps;
   (match identical_schedules cur with
-  | Some true -> Printf.printf "\nidentical schedules across --jobs: yes\n"
-  | Some false ->
+  | [] -> ()
+  | flags when List.for_all Fun.id flags ->
+      Printf.printf "\nidentical schedules across --jobs: yes (%d section%s)\n"
+        (List.length flags)
+        (if List.length flags = 1 then "" else "s")
+  | _ ->
       Printf.printf
         "\nidentical schedules across --jobs: NO — determinism break\n";
-      failed := true
-  | None -> ());
+      failed := true);
+  (* hard speedup floor — only meaningful where 4 domains exist; a
+     clamped-cpuset runner (recommended_domains < 4) reports instead
+     of gating, so the floor cannot fail for want of hardware *)
+  let domains =
+    match scrape_float cur ~key:"recommended_domains" ~from:0 with
+    | Some d -> int_of_float d
+    | None -> 1
+  in
+  let check_floor label body =
+    match speedup_at body ~jobs:4 with
+    | None -> ()
+    | Some s ->
+        if domains >= 4 then
+          if s >= speedup_floor then
+            Printf.printf "%s speedup at 4 domains: %.2fx (floor %.1fx) ok\n"
+              label s speedup_floor
+          else begin
+            Printf.printf
+              "%s speedup at 4 domains: %.2fx — BELOW FLOOR %.1fx\n" label s
+              speedup_floor;
+            failed := true
+          end
+        else
+          Printf.printf
+            "%s speedup at 4 domains: %.2fx (floor not gated: %d domain%s \
+             recommended here)\n"
+            label s domains
+            (if domains = 1 then "" else "s")
+  in
+  (match section cur ~key:"parallel" ~open_:'{' ~close:'}' with
+  | None -> ()
+  | Some body ->
+      print_newline ();
+      check_floor "e9 pipeline" body);
+  (match section cur ~key:"huge" ~open_:'{' ~close:'}' with
+  | None -> ()
+  | Some body ->
+      check_floor "e11 even-opt" body;
+      List.iter
+        (fun (solver, budget) ->
+          match bytes_per_edge body ~solver with
+          | None -> ()
+          | Some bpe ->
+              if bpe <= budget then
+                Printf.printf
+                  "e11 %-8s allocation: %8.1f bytes/edge (budget %.0f) ok\n"
+                  solver bpe budget
+              else begin
+                Printf.printf
+                  "e11 %-8s allocation: %8.1f bytes/edge — OVER BUDGET %.0f\n"
+                  solver bpe budget;
+                failed := true
+              end)
+        alloc_budgets);
   if !failed then begin
     Printf.printf "\nGATE FAILED\n";
     exit 1

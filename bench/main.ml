@@ -1158,6 +1158,95 @@ let e9_parallel () =
     Some (List.map (fun (j, _, _, t) -> (j, t)) runs, rounds, lb, comps)
 
 (* ------------------------------------------------------------------ *)
+(* E27 (CLI key "e11"): flat-core scale — wall and allocation per      *)
+(* solver on the "huge" family, plus even-opt intra-instance scaling   *)
+
+(* stashed by e11 for the --json writer:
+   (edges,
+    solver rows (name, wall_s, rounds, bytes_per_edge),
+    even-opt runs (jobs, wall_s)) *)
+let huge_detail :
+    (int * (string * float * int * float) list * (int * float) list) option
+    ref =
+  ref None
+
+let e11_huge () =
+  header "E11 [huge]  flat-core scale: wall time and allocation per solver";
+  let fam =
+    match Gen.family_of_string "huge" with
+    | Some f -> f
+    | None -> failwith "e11: gen family \"huge\" missing"
+  in
+  let inst = Gen.instance fam ~seed:1 ~size:112 in
+  let m = M.Instance.n_items inst in
+  Printf.printf "huge seed 1 size 112: %d disks, %d items, all-even caps\n\n"
+    (M.Instance.n_disks inst) m;
+  let measure name solve =
+    (* Gc.allocated_bytes counts every word this domain ever allocated,
+       so the delta is total allocation — what the arenas amortize away
+       shows up as a smaller delta, which is exactly what the gate's
+       bytes-per-edge budget pins down *)
+    let a0 = Gc.allocated_bytes () in
+    let sched, t = wall_clock solve in
+    let bytes = Gc.allocated_bytes () -. a0 in
+    fail_invalid inst sched ("e11 " ^ name);
+    (name, sched, t, bytes /. float_of_int m)
+  in
+  let rows =
+    [
+      measure "greedy" (fun () -> M.plan ~rng:(rng_of 911) M.Greedy inst);
+      measure "hetero" (fun () -> M.plan ~rng:(rng_of 912) M.Hetero inst);
+      measure "even-opt" (fun () -> M.Even_optimal.schedule ~jobs:1 inst);
+    ]
+  in
+  Printf.printf "%10s %10s %7s %12s\n" "solver" "wall (s)" "rounds"
+    "bytes/item";
+  List.iter
+    (fun (name, sched, t, bpe) ->
+      Printf.printf "%10s %10.3f %7d %12.1f\n" name t
+        (M.Schedule.n_rounds sched) bpe)
+    rows;
+  (* even-opt parallel scaling within ONE instance: each round's
+     degree-constrained matching fragments into thousands of components
+     solved on the worker pool, so speedup needs no multi-component
+     instance.  jobs=1 reuses the row above as the base. *)
+  let base_sched, base_t =
+    match rows with
+    | [ _; _; (_, s, t, _) ] -> (M.Schedule.to_string s, t)
+    | _ -> assert false
+  in
+  let runs =
+    (1, base_t)
+    :: List.map
+         (fun jobs ->
+           let sched, t =
+             wall_clock (fun () -> M.Even_optimal.schedule ~jobs inst)
+           in
+           if M.Schedule.to_string sched <> base_sched then
+             failwith
+               (Printf.sprintf
+                  "e11: even-opt schedule at jobs %d differs from jobs 1" jobs);
+           (jobs, t))
+         [ 2; 4 ]
+  in
+  Printf.printf "\neven-opt scaling (schedules bit-identical; %d domains \
+                 recommended here):\n"
+    (Exec.default_jobs ());
+  Printf.printf "%6s %10s %9s\n" "jobs" "wall (s)" "speedup";
+  List.iter
+    (fun (jobs, t) ->
+      Printf.printf "%6d %10.3f %8.2fx\n" jobs t (base_t /. t))
+    runs;
+  huge_detail :=
+    Some
+      ( m,
+        List.map
+          (fun (name, sched, t, bpe) ->
+            (name, t, M.Schedule.n_rounds sched, bpe))
+          rows,
+        runs )
+
+(* ------------------------------------------------------------------ *)
 (* E10 (CLI key "engine"): incremental re-planning vs the oracle       *)
 
 (* stashed by the engine experiment for the --json writer:
@@ -1244,6 +1333,7 @@ let experiments =
     ("deadline", e24_deadline);
     ("metrics", e25_metrics);
     ("e9", e9_parallel);
+    ("e11", e11_huge);
     ("engine", e10_engine);
   ]
 
@@ -1252,7 +1342,7 @@ let experiments =
 let write_json ~path timings =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": \"pr3\",\n";
+  Buffer.add_string buf "  \"bench\": \"pr6\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"recommended_domains\": %d,\n" (Exec.default_jobs ()));
   Buffer.add_string buf "  \"experiments\": [\n";
@@ -1272,6 +1362,35 @@ let write_json ~path timings =
            "    \"components\": %d,\n    \"rounds\": %d,\n    \
             \"lower_bound\": %d,\n"
            components rounds lb);
+      Buffer.add_string buf "    \"runs\": [\n";
+      let base_t = match runs with (1, t) :: _ -> t | _ -> 1.0 in
+      List.iteri
+        (fun i (jobs, t) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      { \"jobs\": %d, \"wall_s\": %.6f, \"speedup\": %.3f }%s\n"
+               jobs t (base_t /. t)
+               (if i = List.length runs - 1 then "" else ",")))
+        runs;
+      Buffer.add_string buf "    ],\n";
+      Buffer.add_string buf "    \"identical_schedules\": true\n";
+      Buffer.add_string buf "  }");
+  (match !huge_detail with
+  | None -> ()
+  | Some (edges, solvers, runs) ->
+      Buffer.add_string buf ",\n  \"huge\": {\n";
+      Buffer.add_string buf (Printf.sprintf "    \"edges\": %d,\n" edges);
+      Buffer.add_string buf "    \"solvers\": [\n";
+      List.iteri
+        (fun i (name, t, rounds, bpe) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      { \"name\": %S, \"wall_s\": %.6f, \"rounds\": %d, \
+                \"bytes_per_edge\": %.1f }%s\n"
+               name t rounds bpe
+               (if i = List.length solvers - 1 then "" else ",")))
+        solvers;
+      Buffer.add_string buf "    ],\n";
       Buffer.add_string buf "    \"runs\": [\n";
       let base_t = match runs with (1, t) :: _ -> t | _ -> 1.0 in
       List.iteri

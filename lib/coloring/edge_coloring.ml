@@ -130,6 +130,20 @@ let incident_with_color t v c =
   check_color t c;
   List.filter (fun e -> t.color.(e) = c) (Multigraph.incident t.g v)
 
+let raw_colors t = t.color
+
+let find_incident_with_color t v c =
+  check_color t c;
+  let csr = Multigraph.freeze t.g in
+  let stop = Multigraph.Csr.row_stop csr v in
+  let rec loop p =
+    if p >= stop then -1
+    else
+      let e = csr.Multigraph.Csr.edge_ids.(p) in
+      if t.color.(e) = c then e else loop (p + 1)
+  in
+  loop (Multigraph.Csr.row_start csr v)
+
 let validate t =
   let n = Multigraph.n_nodes t.g in
   let fresh = Array.init n (fun _ -> Array.make t.colors 0) in

@@ -72,6 +72,16 @@ val classes : t -> int list array
 (** Edges colored [c] incident to [v]. *)
 val incident_with_color : t -> int -> int -> int list
 
+(** First edge colored [c] incident to [v], in canonical incidence
+    order; [-1] if none.  The allocation-free hot-kernel counterpart
+    of {!incident_with_color}. *)
+val find_incident_with_color : t -> int -> int -> int
+
+(** The live per-edge color array ([-1] = uncolored).  Hot kernels
+    read it directly; writing it outside {!assign}/{!unassign} would
+    corrupt the per-node counts. *)
+val raw_colors : t -> int array
+
 (** Re-checks every invariant from scratch; [Ok ()] or a description
     of the first violation.  Meant for tests and post-run audits. *)
 val validate : t -> (unit, string) result

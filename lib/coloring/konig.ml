@@ -1,30 +1,41 @@
 module Multigraph = Mgraph.Multigraph
+module Csr = Mgraph.Multigraph.Csr
+module Arena = Mgraph.Arena
 
 let sides g =
   let n = Multigraph.n_nodes g in
+  let csr = Multigraph.freeze g in
+  let arena = Arena.local () in
+  let qbuf = Arena.ints arena ~len:(max n 1) ~fill:0 in
+  let q = Arena.arr qbuf in
   let side = Array.make n (-1) in
   let ok = ref true in
   for start = 0 to n - 1 do
     if side.(start) < 0 then begin
       side.(start) <- 0;
-      let queue = Queue.create () in
-      Queue.add start queue;
-      while not (Queue.is_empty queue) do
-        let u = Queue.take queue in
-        Multigraph.iter_incident g u (fun e ->
-            let w = Multigraph.other_endpoint g e u in
-            if w = u then ok := false
-            else if side.(w) < 0 then begin
-              side.(w) <- 1 - side.(u);
-              Queue.add w queue
-            end
-            else if side.(w) = side.(u) then ok := false)
+      let head = ref 0 and tail = ref 0 in
+      q.(!tail) <- start;
+      incr tail;
+      while !head < !tail do
+        let u = q.(!head) in
+        incr head;
+        for p = Csr.row_start csr u to Csr.row_stop csr u - 1 do
+          let w = csr.Csr.neighbors.(p) in
+          if w = u then ok := false
+          else if side.(w) < 0 then begin
+            side.(w) <- 1 - side.(u);
+            q.(!tail) <- w;
+            incr tail
+          end
+          else if side.(w) = side.(u) then ok := false
+        done
       done
     end
   done;
+  Arena.release arena qbuf;
   if !ok then Some (Array.map (fun s -> s = 1) side) else None
 
-let color g =
+let color ?pool g =
   let side =
     match sides g with
     | Some s -> s
@@ -35,45 +46,66 @@ let color g =
   if delta > 0 then begin
     (* local index per side; sides are padded to equal size *)
     let n = Multigraph.n_nodes g in
-    let left = ref [] and right = ref [] in
-    for v = n - 1 downto 0 do
-      if side.(v) then right := v :: !right else left := v :: !left
+    let n_right = ref 0 in
+    Array.iter (fun s -> if s then incr n_right) side;
+    let left = Array.make (max (n - !n_right) 1) 0
+    and right = Array.make (max !n_right 1) 0 in
+    let li = ref 0 and ri = ref 0 in
+    for v = 0 to n - 1 do
+      if side.(v) then begin
+        right.(!ri) <- v;
+        incr ri
+      end
+      else begin
+        left.(!li) <- v;
+        incr li
+      end
     done;
-    let left = Array.of_list !left and right = Array.of_list !right in
-    let size = max (Array.length left) (Array.length right) in
-    let lidx = Hashtbl.create 16 and ridx = Hashtbl.create 16 in
-    Array.iteri (fun i v -> Hashtbl.add lidx v i) left;
-    Array.iteri (fun i v -> Hashtbl.add ridx v i) right;
-    (* padded edge list: real edges keep their graph ids in [ids] *)
-    let edges = ref [] and ids = ref [] in
+    let size = max !li !ri in
+    let lidx = Array.make n 0 and ridx = Array.make n 0 in
+    for i = 0 to !li - 1 do
+      lidx.(left.(i)) <- i
+    done;
+    for i = 0 to !ri - 1 do
+      ridx.(right.(i)) <- i
+    done;
+    (* Padded edge array, canonically ordered: dummies first in reverse
+       creation order, then real edges in reverse id order.  (The order
+       is pinned by the golden schedules: each round's matching depends
+       on it.)  Real edges keep their graph ids in [ids]; dummies get
+       [-1]. *)
+    let m = Multigraph.n_edges g in
+    let padded = size * delta in
+    let n_dummy = padded - m in
+    let edges = Array.make (max padded 1) (0, 0) in
+    let ids = Array.make (max padded 1) (-1) in
     Multigraph.iter_edges g (fun { Multigraph.id; u; v } ->
         let l, r = if side.(u) then (v, u) else (u, v) in
-        edges := (Hashtbl.find lidx l, Hashtbl.find ridx r) :: !edges;
-        ids := id :: !ids);
+        let i = padded - 1 - id in
+        edges.(i) <- (lidx.(l), ridx.(r));
+        ids.(i) <- id);
     let ldeg = Array.make size 0 and rdeg = Array.make size 0 in
-    List.iter
-      (fun (l, r) ->
-        ldeg.(l) <- ldeg.(l) + 1;
-        rdeg.(r) <- rdeg.(r) + 1)
-      !edges;
+    for i = n_dummy to padded - 1 do
+      let l, r = edges.(i) in
+      ldeg.(l) <- ldeg.(l) + 1;
+      rdeg.(r) <- rdeg.(r) + 1
+    done;
     (* dummy edges joining under-full nodes until delta-regular *)
     let lpos = ref 0 and rpos = ref 0 in
-    let total = ref (List.length !edges) in
-    while !total < size * delta do
+    for k = 0 to n_dummy - 1 do
       while ldeg.(!lpos) >= delta do
         incr lpos
       done;
       while rdeg.(!rpos) >= delta do
         incr rpos
       done;
-      edges := (!lpos, !rpos) :: !edges;
-      ids := -1 :: !ids;
+      edges.(n_dummy - 1 - k) <- (!lpos, !rpos);
       ldeg.(!lpos) <- ldeg.(!lpos) + 1;
-      rdeg.(!rpos) <- rdeg.(!rpos) + 1;
-      incr total
+      rdeg.(!rpos) <- rdeg.(!rpos) + 1
     done;
-    let edges = ref (Array.of_list !edges) and ids = ref (Array.of_list !ids) in
-    (* delta successive perfect matchings *)
+    (* delta successive perfect matchings; each round keeps the
+       non-selected edges in reverse index order (again pinned) *)
+    let edges = ref edges and ids = ref ids and len = ref padded in
     for c = 0 to delta - 1 do
       let caps = Array.make size 1 in
       let problem =
@@ -82,27 +114,33 @@ let color g =
           n_right = size;
           left_cap = caps;
           right_cap = caps;
-          edges = !edges;
+          edges = (if !len = Array.length !edges then !edges
+                   else Array.sub !edges 0 !len);
         }
       in
-      match Netflow.Bmatching.solve_exact problem with
+      match Netflow.Bmatching.solve_exact ?pool problem with
       | None ->
           (* contradicts Hall's condition on a regular bipartite graph *)
           assert false
       | Some sel ->
-          let rest_edges = ref [] and rest_ids = ref [] in
-          Array.iteri
-            (fun i pair ->
-              if sel.(i) then begin
-                if !ids.(i) >= 0 then Edge_coloring.assign t !ids.(i) c
-              end
-              else begin
-                rest_edges := pair :: !rest_edges;
-                rest_ids := !ids.(i) :: !rest_ids
-              end)
-            !edges;
-          edges := Array.of_list !rest_edges;
-          ids := Array.of_list !rest_ids
+          let kept = ref 0 in
+          Array.iter (fun b -> if not b then incr kept) sel;
+          let next_edges = Array.make (max !kept 1) (0, 0) in
+          let next_ids = Array.make (max !kept 1) (-1) in
+          let j = ref 0 in
+          for i = !len - 1 downto 0 do
+            if sel.(i) then begin
+              if !ids.(i) >= 0 then Edge_coloring.assign t !ids.(i) c
+            end
+            else begin
+              next_edges.(!j) <- !edges.(i);
+              next_ids.(!j) <- !ids.(i);
+              incr j
+            end
+          done;
+          edges := next_edges;
+          ids := next_ids;
+          len := !kept
     done
   end;
   t

@@ -1,16 +1,6 @@
 module Multigraph = Mgraph.Multigraph
+module Csr = Mgraph.Multigraph.Csr
 module Ec = Edge_coloring
-
-(* Net count changes a pending flip would cause, keyed by (node, color).
-   Only walk endpoints can end up with a non-zero net change, but
-   intermediate bookkeeping is simplest kept uniformly. *)
-module Delta = struct
-  type t = (int * int, int) Hashtbl.t
-
-  let create () : t = Hashtbl.create 16
-  let get d k = try Hashtbl.find d k with Not_found -> 0
-  let bump d k x = Hashtbl.replace d k (get d k + x)
-end
 
 let other a b x = if x = a then b else a
 
@@ -20,105 +10,180 @@ let c_walks = Probes.counter "recolor.kempe_walks"
 let c_flips = Probes.counter "recolor.kempe_flips"
 let c_failed = Probes.counter "recolor.failed_walks"
 
-(* Unused edges of color [want] at [w].  [used] marks edges already on
-   the walk. *)
-let continuations t used w want =
-  List.filter
-    (fun e -> (not (Hashtbl.mem used e)) && Ec.color_of t e = Some want)
-    (Multigraph.incident (Ec.graph t) w)
+(* Reusable walk scratch, checked out of the coloring's graph shape
+   once and reused across every walk of a run.  All per-node/per-edge
+   state is epoch-stamped: bumping [epoch] invalidates the whole
+   scratch in O(1), so a walk touches only the entries it visits and
+   never pays a clearing pass.
 
-let pick rng = function
-  | [] -> None
-  | [ e ] -> Some e
-  | es -> (
-      match rng with
-      | None -> Some (List.hd es)
-      | Some rng -> Some (List.nth es (Random.State.int rng (List.length es))))
+   [da]/[db] hold the net count change the pending flip would cause at
+   a node for the walk's two colors (the paper's capacity-tracking
+   generalization of Kempe chains); [stamp] guards both. *)
+type ctx = {
+  used_stamp : int array;  (* per edge: stamp of the walk it is on *)
+  da : int array;  (* per node: pending delta for color [a] *)
+  db : int array;  (* per node: pending delta for color [b] *)
+  stamp : int array;
+  walk_e : int array;  (* edges of the pending walk, in growth order *)
+  walk_c : int array;  (* the color each edge flips to *)
+  mutable mu : int array;  (* captured missing palettes, candidate loop *)
+  mutable mv : int array;
+  mutable epoch : int;
+}
+
+let make_ctx t =
+  let g = Ec.graph t in
+  let n = Multigraph.n_nodes g and m = Multigraph.n_edges g in
+  {
+    used_stamp = Array.make (max m 1) 0;
+    da = Array.make (max n 1) 0;
+    db = Array.make (max n 1) 0;
+    stamp = Array.make (max n 1) 0;
+    walk_e = Array.make ((2 * m) + 2) 0;
+    walk_c = Array.make ((2 * m) + 2) 0;
+    mu = Array.make (max (Ec.n_colors t) 1) 0;
+    mv = Array.make (max (Ec.n_colors t) 1) 0;
+    epoch = 0;
+  }
+
+let delta_get ctx w ~a color =
+  if ctx.stamp.(w) <> ctx.epoch then 0
+  else if color = a then ctx.da.(w)
+  else ctx.db.(w)
+
+let delta_bump ctx w ~a color x =
+  if ctx.stamp.(w) <> ctx.epoch then begin
+    ctx.stamp.(w) <- ctx.epoch;
+    ctx.da.(w) <- 0;
+    ctx.db.(w) <- 0
+  end;
+  if color = a then ctx.da.(w) <- ctx.da.(w) + x
+  else ctx.db.(w) <- ctx.db.(w) + x
+
+(* Continuations are the unused edges of color [want] at [w], in
+   canonical incidence order.  [count]/[nth] split lets [pick] consume
+   the RNG exactly as the historical list code did: no draw for zero
+   or one continuation, one draw otherwise. *)
+let count_continuations ctx colors (csr : Csr.t) w want =
+  let count = ref 0 in
+  for p = Csr.row_start csr w to Csr.row_stop csr w - 1 do
+    let e = csr.Csr.edge_ids.(p) in
+    if ctx.used_stamp.(e) <> ctx.epoch && colors.(e) = want then incr count
+  done;
+  !count
+
+let nth_continuation ctx colors (csr : Csr.t) w want k =
+  let seen = ref 0 and found = ref (-1) in
+  let p = ref (Csr.row_start csr w) in
+  let stop = Csr.row_stop csr w in
+  while !found < 0 && !p < stop do
+    let e = csr.Csr.edge_ids.(!p) in
+    if ctx.used_stamp.(e) <> ctx.epoch && colors.(e) = want then begin
+      if !seen = k then found := e;
+      incr seen
+    end;
+    incr p
+  done;
+  !found
 
 (* Would flipping the pending walk leave a valid state, and would it
    achieve the goal (color [a] missing at [v])?  Only the start node
    and the current end can carry a non-zero net change. *)
-let acceptable t delta ~v ~a ~b ~here =
+let acceptable t ctx ~v ~a ~b ~here =
   let ok_at w =
-    Ec.count t w a + Delta.get delta (w, a) <= Ec.cap t w
-    && Ec.count t w b + Delta.get delta (w, b) <= Ec.cap t w
+    Ec.count t w a + delta_get ctx w ~a a <= Ec.cap t w
+    && Ec.count t w b + delta_get ctx w ~a b <= Ec.cap t w
   in
   ok_at v && ok_at here
-  && Ec.count t v a + Delta.get delta (v, a) < Ec.cap t v
+  && Ec.count t v a + delta_get ctx v ~a a < Ec.cap t v
 
-let commit t walk =
+let commit t ctx len =
   Probes.bump c_walks;
-  Probes.bump ~by:(List.length walk) c_flips;
+  Probes.bump ~by:len c_flips;
   (* Unassign everything first so the reassignments never transiently
      overflow: counts only grow towards the (valid) final state. *)
-  let flipped =
-    List.map
-      (fun (e, c) ->
-        Ec.unassign t e;
-        (e, c))
-      walk
-  in
-  List.iter (fun (e, c) -> Ec.assign t e c) flipped
+  for i = len - 1 downto 0 do
+    Ec.unassign t ctx.walk_e.(i)
+  done;
+  for i = len - 1 downto 0 do
+    Ec.assign t ctx.walk_e.(i) ctx.walk_c.(i)
+  done
 
-let try_free t ?rng ~v ~a ~b () =
+let try_free_ctx t ctx ?rng ~v ~a ~b () =
   if a = b then invalid_arg "Recolor.try_free: a = b";
   if not (Ec.missing t v b) then
     invalid_arg "Recolor.try_free: b must be missing at v";
   if Ec.missing t v a then true
   else begin
-    let used = Hashtbl.create 16 in
-    let delta = Delta.create () in
-    let max_steps = 2 * Multigraph.n_edges (Ec.graph t) in
-    (* walk accumulates (edge, new color) pairs *)
-    let rec grow here want walk steps =
-      if steps > max_steps then false
-      else
-        match pick rng (continuations t used here want) with
-        | None -> false
-        | Some e ->
-            Hashtbl.add used e ();
-            let next = Multigraph.other_endpoint (Ec.graph t) e here in
-            let flip_to = other a b want in
-            Delta.bump delta (here, want) (-1);
-            Delta.bump delta (here, flip_to) 1;
-            Delta.bump delta (next, want) (-1);
-            Delta.bump delta (next, flip_to) 1;
-            let walk = (e, flip_to) :: walk in
-            if acceptable t delta ~v ~a ~b ~here:next then begin
-              commit t walk;
-              true
-            end
-            else grow next (other a b want) walk (steps + 1)
-    in
-    let freed = grow v a [] 0 in
+    ctx.epoch <- ctx.epoch + 1;
+    let g = Ec.graph t in
+    let csr = Multigraph.freeze g in
+    let colors = Ec.raw_colors t in
+    let max_steps = 2 * Multigraph.n_edges g in
+    let len = ref 0 in
+    (* the walk grows one edge at a time; [here]/[want] track the
+       frontier, mirroring the historical recursive [grow] *)
+    let here = ref v and want = ref a and steps = ref 0 in
+    (* 0 = walking, 1 = failed, 2 = committed *)
+    let result = ref 0 in
+    while !result = 0 do
+      if !steps > max_steps then result := 1
+      else begin
+        let cnt = count_continuations ctx colors csr !here !want in
+        let e =
+          if cnt = 0 then -1
+          else if cnt = 1 then nth_continuation ctx colors csr !here !want 0
+          else
+            match rng with
+            | None -> nth_continuation ctx colors csr !here !want 0
+            | Some rng ->
+                nth_continuation ctx colors csr !here !want
+                  (Random.State.int rng cnt)
+        in
+        if e < 0 then result := 1
+        else begin
+          ctx.used_stamp.(e) <- ctx.epoch;
+          let next = Multigraph.other_endpoint g e !here in
+          let flip_to = other a b !want in
+          delta_bump ctx !here ~a !want (-1);
+          delta_bump ctx !here ~a flip_to 1;
+          delta_bump ctx next ~a !want (-1);
+          delta_bump ctx next ~a flip_to 1;
+          ctx.walk_e.(!len) <- e;
+          ctx.walk_c.(!len) <- flip_to;
+          incr len;
+          if acceptable t ctx ~v ~a ~b ~here:next then begin
+            commit t ctx !len;
+            result := 2
+          end
+          else begin
+            here := next;
+            want := other a b !want;
+            incr steps
+          end
+        end
+      end
+    done;
+    let freed = !result = 2 in
     if not freed then Probes.bump c_failed;
     freed
   end
 
-(* Cartesian pairs (a, b) with a missing at one endpoint and b at the
-   other, capped to keep attempts bounded on large palettes. *)
-let candidate_pairs t e limit =
-  let u, v = Multigraph.endpoints (Ec.graph t) e in
-  let mu = Ec.missing_colors t u and mv = Ec.missing_colors t v in
-  let pairs = ref [] in
-  List.iter
-    (fun a ->
-      List.iter
-        (fun b ->
-          if a <> b then begin
-            (* free a at v (walk from v), or free b at u (walk from u) *)
-            pairs := (`At_v, a, b) :: (`At_u, b, a) :: !pairs
-          end)
-        mv)
-    mu;
-  let rec take k = function
-    | [] -> []
-    | _ when k = 0 -> []
-    | x :: rest -> x :: take (k - 1) rest
-  in
-  take limit (List.rev !pairs)
+let try_free t ?rng ~v ~a ~b () = try_free_ctx t (make_ctx t) ?rng ~v ~a ~b ()
 
-let try_color_edge t ?rng ?(flip_attempts = 32) e =
+(* Capture the missing palette of [w] (ascending colors) into [buf],
+   returning how many entries were written. *)
+let capture_missing t w buf =
+  let k = ref 0 in
+  for c = 0 to Ec.n_colors t - 1 do
+    if Ec.missing t w c then begin
+      buf.(!k) <- c;
+      incr k
+    end
+  done;
+  !k
+
+let try_color_edge_ctx t ctx ?rng ?(flip_attempts = 32) e =
   (match Ec.color_of t e with
   | Some _ -> invalid_arg "Recolor.try_color_edge: edge already colored"
   | None -> ());
@@ -128,28 +193,53 @@ let try_color_edge t ?rng ?(flip_attempts = 32) e =
       true
   | None ->
       let u, v = Multigraph.endpoints (Ec.graph t) e in
-      let rec attempt = function
-        | [] -> false
-        | (site, a, b) :: rest ->
-            (* [a] is missing at one endpoint; try to free it at the
-               other by flipping away from there along an a/b walk. *)
-            let target = match site with `At_v -> v | `At_u -> u in
-            let flipped =
-              Ec.missing t target b
-              && (not (Ec.missing t target a))
-              && try_free t ?rng ~v:target ~a ~b ()
-            in
-            if flipped && Ec.missing t u a && Ec.missing t v a then begin
-              Ec.assign t e a;
-              true
-            end
-            else
-              (* the flip (if any) may have changed the landscape; a
-                 common color can appear for free *)
-              (match Ec.common_missing t e with
-              | Some c ->
-                  Ec.assign t e c;
-                  true
-              | None -> attempt rest)
+      if Array.length ctx.mu < Ec.n_colors t then begin
+        ctx.mu <- Array.make (Ec.n_colors t) 0;
+        ctx.mv <- Array.make (Ec.n_colors t) 0
+      end;
+      (* candidate pairs are fixed by the palette at entry, exactly as
+         the historical snapshot of missing colors was *)
+      let nu = capture_missing t u ctx.mu in
+      let nv = capture_missing t v ctx.mv in
+      let budget = ref flip_attempts in
+      let colored = ref false in
+      (* [a] is missing at one endpoint; try to free it at the other by
+         flipping away from there along an a/b walk.  The flip (if any)
+         may change the landscape, so a common color can appear for
+         free after a failed attempt. *)
+      let attempt target place walk_b =
+        decr budget;
+        let flipped =
+          Ec.missing t target walk_b
+          && (not (Ec.missing t target place))
+          && try_free_ctx t ctx ?rng ~v:target ~a:place ~b:walk_b ()
+        in
+        if flipped && Ec.missing t u place && Ec.missing t v place then begin
+          Ec.assign t e place;
+          colored := true
+        end
+        else
+          match Ec.common_missing t e with
+          | Some c ->
+              Ec.assign t e c;
+              colored := true
+          | None -> ()
       in
-      attempt (candidate_pairs t e flip_attempts)
+      let i = ref 0 in
+      while (not !colored) && !budget > 0 && !i < nu do
+        let a = ctx.mu.(!i) in
+        let j = ref 0 in
+        while (not !colored) && !budget > 0 && !j < nv do
+          let b = ctx.mv.(!j) in
+          if a <> b then begin
+            attempt u b a;
+            if (not !colored) && !budget > 0 then attempt v a b
+          end;
+          incr j
+        done;
+        incr i
+      done;
+      !colored
+
+let try_color_edge t ?rng ?flip_attempts e =
+  try_color_edge_ctx t (make_ctx t) ?rng ?flip_attempts e

@@ -14,6 +14,16 @@
     All operations either mutate the coloring into another valid state
     or leave it untouched and return [false]. *)
 
+(** Reusable walk scratch sized to the coloring's graph.  All entries
+    are epoch-stamped, so reuse across walks costs nothing and needs
+    no clearing; create one {!make_ctx} per coloring run and thread it
+    through every call.  A ctx holds no cross-call state — snapshots
+    and restores of the coloring never involve it — but it must stay
+    on the domain that created it (its buffers are unsynchronized). *)
+type ctx
+
+val make_ctx : Edge_coloring.t -> ctx
+
 (** [try_free t ?rng ~v ~a ~b] attempts to make color [a] missing at
     [v] by flipping an [a]/[b]-alternating walk that starts at [v]
     along an [a]-colored edge.  Preconditions checked: [a <> b] and
@@ -23,6 +33,18 @@
     that callers can retry with different walks. *)
 val try_free :
   Edge_coloring.t -> ?rng:Random.State.t -> v:int -> a:int -> b:int -> unit -> bool
+
+(** {!try_free} with caller-provided scratch — the steady-state entry
+    point: no allocation beyond the committed color changes. *)
+val try_free_ctx :
+  Edge_coloring.t ->
+  ctx ->
+  ?rng:Random.State.t ->
+  v:int ->
+  a:int ->
+  b:int ->
+  unit ->
+  bool
 
 (** [try_color_edge t ?rng ?flip_attempts e] tries to color the
     uncolored edge [e] within the current palette:
@@ -34,3 +56,12 @@ val try_free :
     @raise Invalid_argument if [e] is already colored. *)
 val try_color_edge :
   Edge_coloring.t -> ?rng:Random.State.t -> ?flip_attempts:int -> int -> bool
+
+(** {!try_color_edge} with caller-provided scratch. *)
+val try_color_edge_ctx :
+  Edge_coloring.t ->
+  ctx ->
+  ?rng:Random.State.t ->
+  ?flip_attempts:int ->
+  int ->
+  bool

@@ -1,4 +1,5 @@
 module Multigraph = Mgraph.Multigraph
+module Csr = Mgraph.Multigraph.Csr
 module Ec = Edge_coloring
 
 (* Atomic: Vizing runs inside parallel Pipeline component solves, so
@@ -14,123 +15,155 @@ let free t v =
   | Some c -> c
   | None -> invalid_arg "Vizing: node saturated in every color"
 
-(* The unique edge at [v] colored [c] (unit capacities), if any. *)
-let edge_with_color t v c =
-  match Ec.incident_with_color t v c with
-  | [] -> None
-  | e :: _ -> Some e
+(* Per-run scratch: the fan as parallel arrays (entry 0 is the
+   uncolored edge's endpoint with no fan edge), the cd-path as edge /
+   new-color arrays, and an epoch-stamped fan-membership mark.  One
+   record per [color] call, reused across every edge. *)
+type scratch = {
+  fan_w : int array;  (* fan vertices *)
+  fan_e : int array;  (* fan edges; -1 for entry 0 *)
+  in_fan : int array;  (* per node, epoch stamp *)
+  path_e : int array;  (* cd-path edges *)
+  path_c : int array;  (* color each path edge flips to *)
+  mutable epoch : int;
+}
+
+let make_scratch g =
+  let n = Multigraph.n_nodes g and m = Multigraph.n_edges g in
+  {
+    fan_w = Array.make (max n 1) 0;
+    fan_e = Array.make (max n 1) 0;
+    in_fan = Array.make (max n 1) 0;
+    path_e = Array.make (max m 1) 0;
+    path_c = Array.make (max m 1) 0;
+    epoch = 0;
+  }
 
 (* Maximal fan of [u] starting at [x]: a sequence of distinct neighbors
    [f0 = x, f1, ...] such that edge (u, f_{i+1}) is colored and its
-   color is missing at [f_i]. *)
-let build_fan t u x =
-  let g = Ec.graph t in
-  let in_fan = Hashtbl.create 8 in
-  Hashtbl.add in_fan x ();
-  let rec extend last acc =
-    let next =
-      List.find_map
-        (fun e ->
-          match Ec.color_of t e with
-          | None -> None
-          | Some c ->
-              let w = Multigraph.other_endpoint g e u in
-              if (not (Hashtbl.mem in_fan w)) && Ec.missing t last c then
-                Some (w, e)
-              else None)
-        (Multigraph.incident g u)
-    in
-    match next with
-    | None -> List.rev acc
-    | Some (w, e) ->
-        Hashtbl.add in_fan w ();
-        extend w ((w, Some e) :: acc)
-  in
-  extend x [ (x, None) ]
+   color is missing at [f_i].  Fills [sc.fan_*], returns the length. *)
+let build_fan t sc (csr : Csr.t) u x =
+  sc.epoch <- sc.epoch + 1;
+  sc.in_fan.(x) <- sc.epoch;
+  sc.fan_w.(0) <- x;
+  sc.fan_e.(0) <- -1;
+  let colors = Ec.raw_colors t in
+  let len = ref 1 in
+  let growing = ref true in
+  let stop = Csr.row_stop csr u in
+  while !growing do
+    (* first incident edge (canonical order) extending the fan *)
+    let last = sc.fan_w.(!len - 1) in
+    let p = ref (Csr.row_start csr u) in
+    let found = ref (-1) in
+    while !found < 0 && !p < stop do
+      let e = csr.Csr.edge_ids.(!p) in
+      let c = colors.(e) in
+      (if c >= 0 then
+         let w = csr.Csr.neighbors.(!p) in
+         if sc.in_fan.(w) <> sc.epoch && Ec.missing t last c then found := e);
+      incr p
+    done;
+    if !found < 0 then growing := false
+    else begin
+      let e = !found in
+      let w = csr.Csr.neighbors.(!p - 1) in
+      sc.in_fan.(w) <- sc.epoch;
+      sc.fan_w.(!len) <- w;
+      sc.fan_e.(!len) <- e;
+      incr len
+    end
+  done;
+  !len
 
 (* Rotate the fan prefix [f0 .. fj]: shift each fan edge's color one
-   step towards [u]'s uncolored edge, leaving (u, fj) uncolored. *)
-let rotate t e0 fan_prefix =
-  let rec loop prev_edge = function
-    | [] -> prev_edge
-    | (_, Some e) :: rest ->
-        let c = Option.get (Ec.color_of t e) in
-        Ec.unassign t e;
-        Ec.assign t prev_edge c;
-        loop e rest
-    | (_, None) :: _ -> invalid_arg "Vizing.rotate: uncolored fan edge"
-  in
-  match fan_prefix with
-  | [] -> e0
-  | (_, None) :: rest -> loop e0 rest
-  | _ -> invalid_arg "Vizing.rotate: fan must start at the uncolored edge"
+   step towards [u]'s uncolored edge, leaving (u, fj) uncolored.
+   Returns the edge left uncolored. *)
+let rotate t sc e0 j =
+  let colors = Ec.raw_colors t in
+  let prev = ref e0 in
+  for i = 1 to j do
+    let e = sc.fan_e.(i) in
+    let c = colors.(e) in
+    Ec.unassign t e;
+    Ec.assign t !prev c;
+    prev := e
+  done;
+  !prev
 
 (* Flip the cd-path starting at [u]: [c] is free at [u], so the
    component of [u] in the {c, d}-subgraph is a path beginning with a
    d-edge (if any).  Swapping colors along it frees [d] at [u]. *)
-let invert_cd_path t u c d =
+let invert_cd_path t sc u c d =
   let g = Ec.graph t in
-  let rec collect v want acc =
-    match edge_with_color t v want with
-    | None -> acc
-    | Some e ->
-        let w = Multigraph.other_endpoint g e v in
-        collect w (if want = c then d else c) ((e, if want = c then d else c) :: acc)
-  in
-  let path = collect u d [] in
-  List.iter (fun (e, _) -> Ec.unassign t e) path;
-  List.iter (fun (e, c') -> Ec.assign t e c') path
+  let len = ref 0 in
+  let v = ref u and want = ref d in
+  let walking = ref true in
+  while !walking do
+    let e = Ec.find_incident_with_color t !v !want in
+    if e < 0 then walking := false
+    else begin
+      let flip = if !want = c then d else c in
+      sc.path_e.(!len) <- e;
+      sc.path_c.(!len) <- flip;
+      incr len;
+      v := Multigraph.other_endpoint g e !v;
+      want := flip
+    end
+  done;
+  for i = !len - 1 downto 0 do
+    Ec.unassign t sc.path_e.(i)
+  done;
+  for i = !len - 1 downto 0 do
+    Ec.assign t sc.path_e.(i) sc.path_c.(i)
+  done
 
-(* Longest prefix of [fan] that is still a fan under the current
+(* Longest prefix of the fan that is still a fan under the current
    coloring (colors may have changed after the path inversion). *)
-let valid_prefix t fan =
-  let rec loop acc last = function
-    | [] -> List.rev acc
-    | ((w, Some e) as entry) :: rest -> (
-        match Ec.color_of t e with
-        | Some c when Ec.missing t last c -> loop (entry :: acc) w rest
-        | _ -> List.rev acc)
-    | (_, None) :: _ -> List.rev acc
-  in
-  match fan with
-  | [] -> []
-  | ((x, None) as first) :: rest -> loop [ first ] x rest
-  | _ -> invalid_arg "Vizing.valid_prefix"
+let valid_prefix t sc fan_len =
+  let colors = Ec.raw_colors t in
+  let k = ref 1 in
+  let ok = ref true in
+  while !ok && !k < fan_len do
+    let c = colors.(sc.fan_e.(!k)) in
+    if c >= 0 && Ec.missing t sc.fan_w.(!k - 1) c then incr k else ok := false
+  done;
+  !k
 
-let color_edge t u e0 =
+let color_edge t sc csr u e0 =
   let g = Ec.graph t in
   let x = Multigraph.other_endpoint g e0 u in
-  let fan = build_fan t u x in
-  let last, _ = List.nth fan (List.length fan - 1) in
+  let fan_len = build_fan t sc csr u x in
+  let last = sc.fan_w.(fan_len - 1) in
   let c = free t u in
   let d = free t last in
   if Ec.missing t u d then begin
     (* rotate the whole fan and finish with d *)
-    let e_last = rotate t e0 fan in
+    let e_last = rotate t sc e0 (fan_len - 1) in
     Ec.assign t e_last d
   end
   else begin
-    invert_cd_path t u c d;
+    invert_cd_path t sc u c d;
     (* after inversion d is free at u; find a fan vertex where d is
        free and whose prefix survived the recoloring *)
-    let prefix = valid_prefix t fan in
-    let rec split acc = function
-      | [] -> None
-      | ((w, _) as entry) :: rest ->
-          if Ec.missing t w d then Some (List.rev (entry :: acc)) else split (entry :: acc) rest
-    in
-    match split [] prefix with
-    | Some sub_fan ->
-        let e_last = rotate t e0 sub_fan in
-        Ec.assign t e_last d
-    | None ->
-        (* Should be unreachable by the Misra–Gries invariant; recover
-           soundly rather than crash. *)
-        Atomic.incr fallbacks;
-        if not (Recolor.try_color_edge t e0) then begin
-          let c' = Ec.add_color t in
-          Ec.assign t e0 c'
-        end
+    let prefix_len = valid_prefix t sc fan_len in
+    let s = ref 0 in
+    while !s < prefix_len && not (Ec.missing t sc.fan_w.(!s) d) do
+      incr s
+    done;
+    if !s < prefix_len then begin
+      let e_last = rotate t sc e0 !s in
+      Ec.assign t e_last d
+    end
+    else begin
+      (* Should be unreachable by the Misra–Gries invariant; recover
+         soundly rather than crash. *)
+      Atomic.incr fallbacks;
+      if not (Recolor.try_color_edge t e0) then begin
+        let c' = Ec.add_color t in
+        Ec.assign t e0 c'
+      end
+    end
   end
 
 let color g =
@@ -139,5 +172,8 @@ let color g =
   Atomic.set fallbacks 0;
   let palette = Multigraph.max_degree g + 1 in
   let t = Ec.create g ~cap:(fun _ -> 1) ~colors:(max 1 palette) in
-  Multigraph.iter_edges g (fun { Multigraph.id; u; _ } -> color_edge t u id);
+  let sc = make_scratch g in
+  let csr = Multigraph.freeze g in
+  Multigraph.iter_edges g (fun { Multigraph.id; u; _ } ->
+      color_edge t sc csr u id);
   t

@@ -5,7 +5,7 @@ let t_decompose = Probes.timer "even_opt.decompose"
 
 (* Steps 1-3: pad to degree exactly c_v * delta and Euler-orient.
    Returns the padded graph (edges 0..m-1 are the real transfers) and
-   the orientation. *)
+   the orientation as parallel src/dst arrays. *)
 let padded_orientation inst delta =
   let g = Instance.graph inst in
   let n = Multigraph.n_nodes g in
@@ -35,49 +35,59 @@ let padded_orientation inst delta =
   for v = 0 to n - 1 do
     assert (Multigraph.degree g' v = target v)
   done;
-  (g', Mgraph.Euler.orientation g')
+  let srcs, dsts = Mgraph.Euler.orient g' in
+  (g', srcs, dsts)
 
 (* Step 4, the paper's version: delta successive exact c_v/2-degree
-   subgraphs of H extracted by max-flow (Figure 3). *)
-let decompose_by_flows inst delta g' orient m =
+   subgraphs of H extracted by max-flow (Figure 3).  Each round keeps
+   the non-selected edges in reverse index order (pinned by the golden
+   schedules: the next round's matching depends on it). *)
+let decompose_by_flows ?pool inst delta g' srcs dsts m =
   let n = Instance.n_disks inst in
   let half v = Instance.cap inst v / 2 in
   let caps_half = Array.init n half in
-  let remaining = ref (List.init (Multigraph.n_edges g') Fun.id) in
+  let m' = Multigraph.n_edges g' in
+  let remaining = Array.init m' Fun.id in
+  let len = ref m' in
   let rounds = Array.make delta [] in
   for r = 0 to delta - 1 do
-    let edges = Array.of_list !remaining in
+    (* a copy: the reverse-order compaction below writes back into
+       [remaining] while this round's indices are still being read *)
+    let edges = Array.sub remaining 0 !len in
     let problem =
       {
         Netflow.Bmatching.n_left = n;
         n_right = n;
         left_cap = caps_half;
         right_cap = caps_half;
-        edges = Array.map (fun e -> orient.(e)) edges;
+        edges = Array.map (fun e -> (srcs.(e), dsts.(e))) edges;
       }
     in
-    match Netflow.Bmatching.solve_exact problem with
+    match Netflow.Bmatching.solve_exact ?pool problem with
     | None ->
         (* contradicts Lemma 4.1/4.2 — would be an implementation bug *)
         assert false
     | Some sel ->
-        let kept = ref [] in
-        Array.iteri
-          (fun i e ->
-            if sel.(i) then begin
-              if e < m then rounds.(r) <- e :: rounds.(r)
-            end
-            else kept := e :: !kept)
-          edges;
-        remaining := !kept
+        for i = 0 to !len - 1 do
+          let e = edges.(i) in
+          if sel.(i) && e < m then rounds.(r) <- e :: rounds.(r)
+        done;
+        let j = ref 0 in
+        for i = !len - 1 downto 0 do
+          if not sel.(i) then begin
+            remaining.(!j) <- edges.(i);
+            incr j
+          end
+        done;
+        len := !j
   done;
-  assert (!remaining = []);
+  assert (!len = 0);
   rounds
 
 (* Step 4, alternative: split each H-side of [v] into c_v/2 unit
    copies (evenly, so every copy has degree exactly delta) and
    König-color the delta-regular bipartite multigraph. *)
-let decompose_by_konig inst delta g' orient m =
+let decompose_by_konig ?pool inst delta g' srcs dsts m =
   let n = Instance.n_disks inst in
   let half = Array.init n (fun v -> Instance.cap inst v / 2) in
   let off = Split_graph.offsets half in
@@ -95,16 +105,16 @@ let decompose_by_konig inst delta g' orient m =
     in_cursor.(v) <- (in_cursor.(v) + 1) mod half.(v);
     c
   in
-  let h_edge_of = Array.make (Multigraph.n_edges g') (-1) in
-  Array.iteri
-    (fun e (s, d) ->
-      let he = Multigraph.add_edge h (out_copy s) (in_copy d) in
-      h_edge_of.(e) <- he)
-    orient;
+  let m' = Multigraph.n_edges g' in
+  let h_edge_of = Array.make m' (-1) in
+  for e = 0 to m' - 1 do
+    let he = Multigraph.add_edge h (out_copy srcs.(e)) (in_copy dsts.(e)) in
+    h_edge_of.(e) <- he
+  done;
   (* round-robin over a degree divisible by c_v/2 gives every copy
      degree exactly delta *)
   assert (Multigraph.max_degree h = delta);
-  let coloring = Coloring.Konig.color h in
+  let coloring = Coloring.Konig.color ?pool h in
   let rounds = Array.make delta [] in
   for e = 0 to m - 1 do
     match Coloring.Edge_coloring.color_of coloring h_edge_of.(e) with
@@ -113,7 +123,7 @@ let decompose_by_konig inst delta g' orient m =
   done;
   rounds
 
-let schedule ?(method_ = `Flows) inst =
+let schedule ?(method_ = `Flows) ?(jobs = 1) inst =
   if not (Instance.all_caps_even inst) then
     invalid_arg "Even_optimal.schedule: all transfer constraints must be even";
   let g = Instance.graph inst in
@@ -121,14 +131,21 @@ let schedule ?(method_ = `Flows) inst =
   if m = 0 then Schedule.of_rounds [||]
   else begin
     let delta = Lower_bounds.lb1 inst in
-    let g', orient =
+    let g', srcs, dsts =
       Probes.time t_orient (fun () -> padded_orientation inst delta)
     in
-    let rounds =
+    let decompose pool =
       Probes.time t_decompose (fun () ->
           match method_ with
-          | `Flows -> decompose_by_flows inst delta g' orient m
-          | `Konig -> decompose_by_konig inst delta g' orient m)
+          | `Flows -> decompose_by_flows ?pool inst delta g' srcs dsts m
+          | `Konig -> decompose_by_konig ?pool inst delta g' srcs dsts m)
+    in
+    let rounds =
+      (* the per-round matchings split into independent per-component
+         flow subproblems; a pool solves those in parallel without
+         changing a bit of the result (see Netflow.Bmatching) *)
+      if jobs <= 1 then decompose None
+      else Exec.with_pool ~jobs (fun pool -> decompose (Some pool))
     in
     (* drop padding-only rounds *)
     let nonempty = Array.to_list rounds |> List.filter (fun r -> r <> []) in

@@ -29,7 +29,7 @@ let c_phase2_edges = Probes.counter "hetero.phase2_edges"
 (* Lemma 5.3 move: uncolor a colored ("lean") edge adjacent to the
    stuck edge, color the stuck edge, then recolor the lean edge.  All
    or nothing: reverts on failure. *)
-let try_lean_swap t ?rng e =
+let try_lean_swap t ctx ?rng e =
   let g = Ec.graph t in
   let u, v = Multigraph.endpoints g e in
   let neighbors =
@@ -45,7 +45,9 @@ let try_lean_swap t ?rng e =
            behind that invalidate f's old color, so roll back wholesale *)
         let snapshot = Ec.copy t in
         Ec.unassign t f;
-        if Recolor.try_color_edge t ?rng e && Recolor.try_color_edge t ?rng f
+        if
+          Recolor.try_color_edge_ctx t ctx ?rng e
+          && Recolor.try_color_edge_ctx t ctx ?rng f
         then true
         else begin
           Ec.restore ~snapshot t;
@@ -62,16 +64,21 @@ let edge_order inst =
     let u, v = Multigraph.endpoints g e in
     Instance.degree_ratio inst u + Instance.degree_ratio inst v
   in
-  List.init (Multigraph.n_edges g) Fun.id
-  |> List.map (fun e -> (weight e, e))
-  |> List.sort (fun (a, _) (b, _) -> compare b a)
-  |> List.map snd
+  let keyed = Array.init (Multigraph.n_edges g) (fun e -> (weight e, e)) in
+  (* descending weight, ties by ascending edge id — the order the old
+     stable list sort produced; a total order, so sort instability
+     cannot show *)
+  Array.sort
+    (fun ((aw : int), (ae : int)) (bw, be) ->
+      if bw <> aw then compare bw aw else compare ae be)
+    keyed;
+  Array.map snd keyed
 
-let phase1 t ?rng order =
+let phase1 t ctx ?rng order =
   let stuck = ref [] in
-  List.iter
+  Array.iter
     (fun e ->
-      if not (Recolor.try_color_edge t ?rng ~flip_attempts:48 e) then
+      if not (Recolor.try_color_edge_ctx t ctx ?rng ~flip_attempts:48 e) then
         stuck := e :: !stuck)
     order;
   (* retry passes: earlier flips keep reshaping the landscape *)
@@ -80,7 +87,8 @@ let phase1 t ?rng order =
     else
       retry (passes - 1)
         (List.filter
-           (fun e -> not (Recolor.try_color_edge t ?rng ~flip_attempts:48 e))
+           (fun e ->
+             not (Recolor.try_color_edge_ctx t ctx ?rng ~flip_attempts:48 e))
            stuck)
   in
   retry 2 (List.rev !stuck)
@@ -113,18 +121,23 @@ let color ?rng inst =
   let lb = Lower_bounds.lower_bound ?rng inst in
   let q0 = max 1 lb in
   let t = Ec.create g ~cap:(Instance.cap inst) ~colors:q0 in
+  (* one walk scratch for the whole run: phase 1, the retry passes and
+     the lean swaps all share it (it carries no cross-call state) *)
+  let ctx = Recolor.make_ctx t in
   let swaps = ref 0 and escalations = ref 0 in
   Log.debug (fun m ->
       m "start: %d items, %d disks, palette %d (lb1 %d, lb %d)"
         (Instance.n_items inst) (Instance.n_disks inst) q0
         (Lower_bounds.lb1 inst) lb);
-  let stuck = Probes.time t_phase1 (fun () -> phase1 t ?rng (edge_order inst)) in
+  let stuck =
+    Probes.time t_phase1 (fun () -> phase1 t ctx ?rng (edge_order inst))
+  in
   Log.debug (fun m -> m "phase 1 left %d stuck edges" (List.length stuck));
   (* lean-edge moves on the survivors *)
   let stuck =
     List.filter
       (fun e ->
-        if try_lean_swap t ?rng e then begin
+        if try_lean_swap t ctx ?rng e then begin
           incr swaps;
           Probes.bump c_swaps;
           false

@@ -27,6 +27,7 @@ module Instr = Instr
 module Certify = Certify
 module Shrink = Shrink
 module Engine = Engine
+module Golden = Golden
 
 (** Planner selection. *)
 type algorithm =

@@ -1,4 +1,6 @@
 module Multigraph = Mgraph.Multigraph
+module Csr = Mgraph.Multigraph.Csr
+module Arena = Mgraph.Arena
 module Ec = Coloring.Edge_coloring
 
 type orbit = { nodes : int list; uncolored_edges : int list }
@@ -11,29 +13,40 @@ type classification =
 let orbits t =
   let g = Ec.graph t in
   let n = Multigraph.n_nodes g in
+  let csr = Multigraph.freeze g in
+  let colors = Ec.raw_colors t in
   let comp = Array.make n (-1) in
   let next = ref 0 in
-  let uncolored e = Ec.color_of t e = None in
+  let uncolored e = colors.(e) < 0 in
+  let arena = Arena.local () in
+  let qbuf = Arena.ints arena ~len:(max n 1) ~fill:0 in
+  let q = Arena.arr qbuf in
   for start = 0 to n - 1 do
     if comp.(start) < 0 then begin
       let id = !next in
       incr next;
       comp.(start) <- id;
-      let queue = Queue.create () in
-      Queue.add start queue;
-      while not (Queue.is_empty queue) do
-        let u = Queue.take queue in
-        Multigraph.iter_incident g u (fun e ->
-            if uncolored e then begin
-              let w = Multigraph.other_endpoint g e u in
-              if comp.(w) < 0 then begin
-                comp.(w) <- id;
-                Queue.add w queue
-              end
-            end)
+      let head = ref 0 and tail = ref 0 in
+      q.(!tail) <- start;
+      incr tail;
+      while !head < !tail do
+        let u = q.(!head) in
+        incr head;
+        for p = Csr.row_start csr u to Csr.row_stop csr u - 1 do
+          let e = csr.Csr.edge_ids.(p) in
+          if uncolored e then begin
+            let w = Multigraph.other_endpoint g e u in
+            if comp.(w) < 0 then begin
+              comp.(w) <- id;
+              q.(!tail) <- w;
+              incr tail
+            end
+          end
+        done
       done
     end
   done;
+  Arena.release arena qbuf;
   let members = Array.make !next [] in
   for v = n - 1 downto 0 do
     members.(comp.(v)) <- v :: members.(comp.(v))
@@ -180,24 +193,37 @@ let free_colors t orbit =
    starting with color [a]; returns the vertices reached. *)
 let trace_walk t x a b =
   let g = Ec.graph t in
-  let used = Hashtbl.create 16 in
+  let csr = Multigraph.freeze g in
+  let colors = Ec.raw_colors t in
+  let m = Multigraph.n_edges g in
+  let arena = Arena.local () in
+  let ubuf = Arena.ints arena ~len:(max m 1) ~fill:0 in
+  let used = Arena.arr ubuf in
+  let first_unused here want =
+    let stop = Csr.row_stop csr here in
+    let rec scan p =
+      if p >= stop then -1
+      else
+        let e = csr.Csr.edge_ids.(p) in
+        if used.(e) = 0 && colors.(e) = want then e else scan (p + 1)
+    in
+    scan (Csr.row_start csr here)
+  in
   let rec go here want acc steps =
-    if steps > 2 * Multigraph.n_edges g then acc
+    if steps > 2 * m then acc
     else begin
-      let next =
-        List.find_opt
-          (fun e -> (not (Hashtbl.mem used e)) && Ec.color_of t e = Some want)
-          (Multigraph.incident g here)
-      in
-      match next with
-      | None -> acc
-      | Some e ->
-          Hashtbl.add used e ();
-          let w = Multigraph.other_endpoint g e here in
-          go w (if want = a then b else a) (w :: acc) (steps + 1)
+      let e = first_unused here want in
+      if e < 0 then acc
+      else begin
+        used.(e) <- 1;
+        let w = Multigraph.other_endpoint g e here in
+        go w (if want = a then b else a) (w :: acc) (steps + 1)
+      end
     end
   in
-  go x a [] 0
+  let reached = go x a [] 0 in
+  Arena.release arena ubuf;
+  reached
 
 (* A color is full in the orbit when no vertex strongly misses it and
    at most one vertex lightly misses it (Section V-B3). *)

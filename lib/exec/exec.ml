@@ -21,7 +21,18 @@ type pool = {
   busy_timers : Probes.timer array;  (* exec.domain<i>.busy, one writer each *)
 }
 
-let default_jobs () = Domain.recommended_domain_count ()
+(* [Domain.recommended_domain_count] reports the cpuset the runtime
+   sees, which inside CI containers is routinely clamped below the
+   machine's real core count.  MIGRATE_JOBS lets the runner (or a
+   developer) assert the true count; anything unparsable falls back to
+   the runtime's view. *)
+let default_jobs () =
+  match Sys.getenv_opt "MIGRATE_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j > 0 -> j
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
 let jobs p = p.n_workers
 let busy_times p = Array.copy p.busy
 

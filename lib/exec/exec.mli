@@ -32,8 +32,11 @@
 
 type pool
 
-(** [Domain.recommended_domain_count ()] — the default for every
-    [--jobs] flag in the repo. *)
+(** The default for every [--jobs] flag in the repo: the
+    [MIGRATE_JOBS] environment variable when set to a positive
+    integer, else [Domain.recommended_domain_count ()].  The override
+    exists because containerized CI runners routinely clamp the
+    cpuset the runtime sees below the machine's real core count. *)
 val default_jobs : unit -> int
 
 (** [create ~jobs] starts [jobs] worker domains ([jobs >= 1]; [1]

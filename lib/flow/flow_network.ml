@@ -1,3 +1,5 @@
+type adj = { offsets : int array; arc_ids : int array }
+
 type t = {
   mutable n : int;
   dsts : int Mgraph.Vec.t;          (* per arc *)
@@ -5,6 +7,7 @@ type t = {
   caps0 : int Mgraph.Vec.t;         (* original capacity, for reset *)
   mutable adj : int Mgraph.Vec.t array;  (* outgoing arc ids per node *)
   srcs : int Mgraph.Vec.t;          (* per arc *)
+  mutable frozen : adj option;      (* flat adjacency cache, see freeze *)
 }
 
 module Vec = Mgraph.Vec
@@ -18,6 +21,7 @@ let create ~n =
     caps0 = Vec.create ~dummy:0 ();
     adj = Array.init (max n 1) (fun _ -> Vec.create ~dummy:(-1) ());
     srcs = Vec.create ~dummy:(-1) ();
+    frozen = None;
   }
 
 let n_nodes net = net.n
@@ -25,6 +29,7 @@ let n_nodes net = net.n
 let add_node net =
   let id = net.n in
   net.n <- net.n + 1;
+  net.frozen <- None;
   let cap = Array.length net.adj in
   if net.n > cap then begin
     let adj =
@@ -52,6 +57,7 @@ let add_arc net ~src ~dst ~cap =
   if cap < 0 then invalid_arg "Flow_network.add_arc: negative capacity";
   let a = add_half net ~src ~dst ~cap in
   ignore (add_half net ~src:dst ~dst:src ~cap:0);
+  net.frozen <- None;
   a
 
 let n_arcs net = Vec.length net.dsts
@@ -69,6 +75,33 @@ let push net a x =
 let out_arcs net v =
   check_node net v;
   Vec.to_array net.adj.(v)
+
+(* Arc ids per row appear in insertion order, matching [out_arcs]. *)
+let freeze net =
+  match net.frozen with
+  | Some a -> a
+  | None ->
+      let n = net.n in
+      let offsets = Array.make (n + 1) 0 in
+      let total = ref 0 in
+      for v = 0 to n - 1 do
+        offsets.(v) <- !total;
+        total := !total + Vec.length net.adj.(v)
+      done;
+      offsets.(n) <- !total;
+      let arc_ids = Array.make !total (-1) in
+      for v = 0 to n - 1 do
+        let row = net.adj.(v) in
+        let base = offsets.(v) in
+        for k = 0 to Vec.length row - 1 do
+          arc_ids.(base + k) <- Vec.get row k
+        done
+      done;
+      let a = { offsets; arc_ids } in
+      net.frozen <- Some a;
+      a
+
+let raw net = (Vec.unsafe_data net.dsts, Vec.unsafe_data net.caps)
 
 let reset net =
   for a = 0 to n_arcs net - 1 do

@@ -38,5 +38,21 @@ val push : t -> int -> int -> unit
 (** Arc ids leaving a node (forward and residual alike). *)
 val out_arcs : t -> int -> int array
 
+(** Flat adjacency: row [v] is
+    [arc_ids.(offsets.(v)) .. arc_ids.(offsets.(v+1) - 1)], in the
+    order {!out_arcs} returns.  [offsets] has length [n+1]. *)
+type adj = { offsets : int array; arc_ids : int array }
+
+(** The flat adjacency view, built once and cached; {!add_arc} and
+    {!add_node} drop the cache.  The arrays must not be written. *)
+val freeze : t -> adj
+
+(** [(dsts, caps)] backing arrays for hot kernels: index by arc id,
+    valid below {!n_arcs}.  [caps] is the live residual state — a
+    kernel writing [caps.(a)]/[caps.(a lxor 1)] performs an unchecked
+    {!push}.  Both arrays are invalidated by the next {!add_arc};
+    capture them per call. *)
+val raw : t -> int array * int array
+
 (** Resets all flow to zero. *)
 val reset : t -> unit

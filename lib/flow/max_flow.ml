@@ -1,46 +1,42 @@
+module Arena = Mgraph.Arena
+
 (* Dinic-level observability: one "phase" per BFS level graph, one
    "augmenting path" per saturating DFS probe inside a blocking flow. *)
 let c_phases = Probes.counter "flow.bfs_phases"
 let c_paths = Probes.counter "flow.augmenting_paths"
 
-let bfs_levels net ~s ~t =
+(* Dinic over the frozen adjacency.  All scratch (levels, BFS queue,
+   DFS cursors) lives in the calling domain's arena; the residual
+   state is updated in place through [Flow_network.raw], so the
+   steady-state path allocates nothing. *)
+let max_flow net ~s ~t =
+  if s = t then invalid_arg "Max_flow.max_flow: s = t";
   let n = Flow_network.n_nodes net in
-  let level = Array.make n (-1) in
-  let queue = Queue.create () in
-  level.(s) <- 0;
-  Queue.add s queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.take queue in
-    Array.iter
-      (fun a ->
-        let v = Flow_network.dst net a in
-        if level.(v) < 0 && Flow_network.residual net a > 0 then begin
-          level.(v) <- level.(u) + 1;
-          Queue.add v queue
-        end)
-      (Flow_network.out_arcs net u)
-  done;
-  if level.(t) < 0 then None else Some level
-
-(* Dinic blocking flow by DFS with per-node arc cursors. *)
-let blocking_flow net ~s ~t level =
-  let n = Flow_network.n_nodes net in
-  let arcs = Array.init n (fun v -> Flow_network.out_arcs net v) in
-  let cursor = Array.make n 0 in
+  let adj = Flow_network.freeze net in
+  let offsets = adj.Flow_network.offsets and arc_ids = adj.Flow_network.arc_ids in
+  let dsts, caps = Flow_network.raw net in
+  let arena = Arena.local () in
+  let hl = Arena.ints arena ~len:n ~fill:(-1) in
+  let hq = Arena.ints arena ~len:n ~fill:0 in
+  let hc = Arena.ints arena ~len:n ~fill:0 in
+  let level = Arena.arr hl and q = Arena.arr hq and cursor = Arena.arr hc in
   let total = ref 0 in
+  (* blocking-flow DFS with per-node cursors (absolute indices into the
+     flat rows); recursion depth is bounded by the level of [t] *)
   let rec dfs u limit =
     if u = t then limit
     else begin
       let pushed = ref 0 in
       let continue = ref true in
-      while !continue && cursor.(u) < Array.length arcs.(u) do
-        let a = arcs.(u).(cursor.(u)) in
-        let v = Flow_network.dst net a in
-        let r = Flow_network.residual net a in
+      while !continue && cursor.(u) < offsets.(u + 1) do
+        let a = arc_ids.(cursor.(u)) in
+        let v = dsts.(a) in
+        let r = caps.(a) in
         if r > 0 && level.(v) = level.(u) + 1 then begin
           let got = dfs v (min (limit - !pushed) r) in
           if got > 0 then begin
-            Flow_network.push net a got;
+            caps.(a) <- caps.(a) - got;
+            caps.(a lxor 1) <- caps.(a lxor 1) + got;
             pushed := !pushed + got;
             if !pushed = limit then continue := false
           end
@@ -51,47 +47,72 @@ let blocking_flow net ~s ~t level =
       !pushed
     end
   in
-  let rec loop () =
-    let got = dfs s max_int in
-    if got > 0 then begin
-      Probes.bump c_paths;
-      total := !total + got;
-      loop ()
-    end
-  in
-  loop ();
-  !total
-
-let max_flow net ~s ~t =
-  if s = t then invalid_arg "Max_flow.max_flow: s = t";
-  let total = ref 0 in
   let continue = ref true in
   while !continue do
-    match bfs_levels net ~s ~t with
-    | None -> continue := false
-    | Some level ->
-        Probes.bump c_phases;
-        total := !total + blocking_flow net ~s ~t level
+    (* BFS level graph *)
+    Array.fill level 0 n (-1);
+    level.(s) <- 0;
+    q.(0) <- s;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = q.(!head) in
+      incr head;
+      for p = offsets.(u) to offsets.(u + 1) - 1 do
+        let a = arc_ids.(p) in
+        let v = dsts.(a) in
+        if level.(v) < 0 && caps.(a) > 0 then begin
+          level.(v) <- level.(u) + 1;
+          q.(!tail) <- v;
+          incr tail
+        end
+      done
+    done;
+    if level.(t) < 0 then continue := false
+    else begin
+      Probes.bump c_phases;
+      Array.blit offsets 0 cursor 0 n;
+      let augmenting = ref true in
+      while !augmenting do
+        let got = dfs s max_int in
+        if got > 0 then begin
+          Probes.bump c_paths;
+          total := !total + got
+        end
+        else augmenting := false
+      done
+    end
   done;
+  Arena.release arena hc;
+  Arena.release arena hq;
+  Arena.release arena hl;
   !total
 
 let min_cut net ~s =
   let n = Flow_network.n_nodes net in
+  let adj = Flow_network.freeze net in
+  let offsets = adj.Flow_network.offsets and arc_ids = adj.Flow_network.arc_ids in
+  let dsts, caps = Flow_network.raw net in
   let seen = Array.make n false in
-  let queue = Queue.create () in
+  let arena = Arena.local () in
+  let hq = Arena.ints arena ~len:n ~fill:0 in
+  let q = Arena.arr hq in
   seen.(s) <- true;
-  Queue.add s queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.take queue in
-    Array.iter
-      (fun a ->
-        let v = Flow_network.dst net a in
-        if (not seen.(v)) && Flow_network.residual net a > 0 then begin
-          seen.(v) <- true;
-          Queue.add v queue
-        end)
-      (Flow_network.out_arcs net u)
+  q.(0) <- s;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = q.(!head) in
+    incr head;
+    for p = offsets.(u) to offsets.(u + 1) - 1 do
+      let a = arc_ids.(p) in
+      let v = dsts.(a) in
+      if (not seen.(v)) && caps.(a) > 0 then begin
+        seen.(v) <- true;
+        q.(!tail) <- v;
+        incr tail
+      end
+    done
   done;
+  Arena.release arena hq;
   seen
 
 let conservation_ok net ~s ~t =

@@ -107,6 +107,16 @@ let multipool rng ~size =
     parts;
   Instance.create g ~caps
 
+(* Perf-scale family: [size] is interpreted quadratically so that the
+   fuzz-range sizes stay cheap (size 10 -> 800 edges) while bench
+   sizes reach the flat-core targets (size 112 -> ~1e5 edges,
+   size 354 -> ~1e6; experiment E11).  All-even capacities keep every
+   solver, even-opt included, applicable. *)
+let huge rng ~size =
+  let n = max 16 (size * size) in
+  let m = 8 * n in
+  Instance.random_caps rng (Graph_gen.gnm rng ~n ~m) ~choices:[ 2; 4 ]
+
 let all =
   [
     { name = "uniform"; doc = "G(n,m) multigraph, mixed constraints"; build = uniform };
@@ -116,6 +126,7 @@ let all =
     { name = "parallel"; doc = "few disks, deep parallel-edge stacks"; build = parallel };
     { name = "bottleneck"; doc = "unit-cap odd clique: Gamma > LB1"; build = bottleneck };
     { name = "multipool"; doc = "disjoint pools, clashing cap styles"; build = multipool };
+    { name = "huge"; doc = "perf-scale all-even G(n,m): ~8*size^2 edges"; build = huge };
   ]
 
 let names = List.map (fun f -> f.name) all

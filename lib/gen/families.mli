@@ -20,6 +20,10 @@
     - ["multipool"] — disjoint pools with clashing capacity styles
       (all-even, unit, mixed): exercises decompose/merge and
       per-component solver selection.
+    - ["huge"] — perf-scale all-even [G(n, m)] with [~8*size^2] edges
+      ([size] is quadratic here so fuzz-range sizes stay cheap while
+      bench sizes reach [1e5..1e6] edges): the flat-core allocation
+      and wall-time regime of experiment E11.
 
     All generators are deterministic functions of an explicit RNG
     state; {!instance} fixes the standard seeding so a printed

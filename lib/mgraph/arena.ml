@@ -1,0 +1,67 @@
+(* Reusable scratch buffers for the hot kernels.
+
+   A buffer checkout pops a pooled int array of the right size class
+   (power of two, minimum 16) or allocates one on first use; release
+   pushes it back.  In steady state a kernel that checks out and
+   releases the same shapes every call allocates nothing.
+
+   Handles are poisoned on release: touching a released handle raises
+   [Stale], which is how the test suite catches a kernel that leaks a
+   buffer past its release point.  Kernels hoist the raw array out of
+   the handle once ([arr]) and index it directly, so the liveness
+   check costs one branch per checkout, not per access.
+
+   Ownership rule: one arena per domain, never shared.  [local ()]
+   returns this domain's arena via [Domain.DLS]; nothing stops a
+   caller from smuggling an arena across domains, but every kernel in
+   this repo either receives an arena from its (single-domain) caller
+   or calls [local ()] itself. *)
+
+exception Stale
+
+type buf = { mutable live : bool; data : int array }
+
+type t = {
+  (* free buffers per size class; class [c] holds arrays of length
+     [16 lsl c].  62 classes cover every representable length. *)
+  pools : buf list array;
+  mutable outstanding : int;
+}
+
+let create () = { pools = Array.make 62 []; outstanding = 0 }
+
+let class_of len =
+  if len < 0 then invalid_arg "Arena: negative length";
+  let c = ref 0 in
+  while 16 lsl !c < len do
+    incr c
+  done;
+  !c
+
+let ints t ~len ~fill =
+  let c = class_of len in
+  let b =
+    match t.pools.(c) with
+    | b :: rest ->
+        t.pools.(c) <- rest;
+        b.live <- true;
+        b
+    | [] -> { live = true; data = Array.make (16 lsl c) 0 }
+  in
+  Array.fill b.data 0 len fill;
+  t.outstanding <- t.outstanding + 1;
+  b
+
+let arr b = if b.live then b.data else raise Stale
+
+let release t b =
+  if not b.live then raise Stale;
+  b.live <- false;
+  let c = class_of (Array.length b.data) in
+  t.pools.(c) <- b :: t.pools.(c);
+  t.outstanding <- t.outstanding - 1
+
+let outstanding t = t.outstanding
+
+let key = Domain.DLS.new_key create
+let local () = Domain.DLS.get key

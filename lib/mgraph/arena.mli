@@ -1,0 +1,46 @@
+(** Reusable scratch buffers for the hot kernels.
+
+    An arena pools int arrays by power-of-two size class under a
+    checkout/release discipline: in steady state a kernel that checks
+    out and releases the same shapes every call allocates nothing.
+    Released handles are poisoned — touching one raises {!Stale}.
+
+    {b Ownership rule:} one arena per domain, never shared.  Use
+    {!local} for the calling domain's arena; never store an arena in a
+    structure another domain can reach.  (doc/ALGORITHMS.md, "Flat
+    core & memory discipline".) *)
+
+type t
+
+(** Raised on any use of a handle after its {!release}, and on a
+    double release. *)
+exception Stale
+
+(** A checked-out int buffer. *)
+type buf
+
+(** A fresh arena with empty pools. *)
+val create : unit -> t
+
+(** [ints t ~len ~fill] checks out a buffer of at least [len] slots
+    with slots [0 .. len-1] set to [fill].  Slots beyond [len] hold
+    unspecified values — kernels must size their indexing by [len],
+    not by the physical array length. *)
+val ints : t -> len:int -> fill:int -> buf
+
+(** The raw array behind a live handle.  Hoist this out of the handle
+    once per checkout and index the array directly.
+    @raise Stale if the handle was released. *)
+val arr : buf -> int array
+
+(** Return the buffer to the pool and poison the handle.
+    @raise Stale on double release. *)
+val release : t -> buf -> unit
+
+(** Live checkouts not yet released — a leak detector for tests. *)
+val outstanding : t -> int
+
+(** The calling domain's own arena (created on first use, via
+    [Domain.DLS]).  Each domain sees a distinct arena, which is what
+    makes checkout/release safe without locks. *)
+val local : unit -> t

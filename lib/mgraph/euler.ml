@@ -10,46 +10,70 @@ let check_even g =
   if not (all_degrees_even g) then
     invalid_arg "Euler: graph has a node of odd degree"
 
-(* Hierholzer with a shared per-node adjacency cursor and a used-edge
-   mask, so repeated calls inside [circuits] stay linear overall. *)
-type state = {
-  adj : int array array;  (* incident edge ids per node *)
-  ptr : int array;        (* next unexplored position in adj.(v) *)
-  used : bool array;
-}
+(* Hierholzer over the CSR view with a shared per-node cursor and a
+   used-edge mask, so repeated walks stay linear overall.  [ptr.(v)] is
+   an absolute index into the flat row of [v]; [used.(e)] is 0/1. *)
+
+(* One circuit from [start]: calls [emit e src dst] once per traversed
+   edge, in the order edges finish (reverse circuit order — consing the
+   emissions yields the circuit forward).  The explicit stack arrays
+   ([sn]/[se]/[sf], at least [m + 1] slots each) are caller-provided so
+   a caller walking many start nodes pays for them once; every cell is
+   written before it is read, so they need no clearing between walks. *)
+let walk (csr : Multigraph.Csr.t) ptr used sn se sf emit start =
+  sn.(0) <- start;
+  se.(0) <- -1;
+  sf.(0) <- -1;
+  let top = ref 0 in
+  while !top >= 0 do
+    let v = sn.(!top) in
+    let stop = csr.Multigraph.Csr.offsets.(v + 1) in
+    let p = ref ptr.(v) in
+    while !p < stop && used.(csr.Multigraph.Csr.edge_ids.(!p)) = 1 do
+      incr p
+    done;
+    ptr.(v) <- !p;
+    if !p >= stop then begin
+      let ein = se.(!top) and from = sf.(!top) in
+      decr top;
+      if ein >= 0 then emit ein from v
+    end
+    else begin
+      let e = csr.Multigraph.Csr.edge_ids.(!p) in
+      used.(e) <- 1;
+      let w = csr.Multigraph.Csr.neighbors.(!p) in
+      incr top;
+      sn.(!top) <- w;
+      se.(!top) <- e;
+      sf.(!top) <- v
+    end
+  done
+
+(* Shared walk state for the list-producing API. *)
+type state = { csr : Multigraph.Csr.t; ptr : int array; used : int array }
 
 let make_state g =
-  let n = Multigraph.n_nodes g in
+  let csr = Multigraph.freeze g in
   {
-    adj = Array.init n (fun v -> Array.of_list (Multigraph.incident g v));
-    ptr = Array.make n 0;
-    used = Array.make (Multigraph.n_edges g) false;
+    csr;
+    ptr = Array.sub csr.Multigraph.Csr.offsets 0 (Multigraph.n_nodes g);
+    used = Array.make (Multigraph.n_edges g) 0;
   }
 
 let circuit_of_state g st start =
-  (* stack elements: (node, edge used to enter it, node it was entered from) *)
-  let stack = ref [ (start, -1, -1) ] in
   let out = ref [] in
-  let continue = ref true in
-  while !continue do
-    match !stack with
-    | [] -> continue := false
-    | (v, ein, from) :: rest ->
-        let row = st.adj.(v) in
-        while st.ptr.(v) < Array.length row && st.used.(row.(st.ptr.(v))) do
-          st.ptr.(v) <- st.ptr.(v) + 1
-        done;
-        if st.ptr.(v) >= Array.length row then begin
-          stack := rest;
-          if ein >= 0 then out := { edge = ein; src = from; dst = v } :: !out
-        end
-        else begin
-          let e = row.(st.ptr.(v)) in
-          st.used.(e) <- true;
-          let w = Multigraph.other_endpoint g e v in
-          stack := (w, e, v) :: !stack
-        end
-  done;
+  let m = Multigraph.n_edges g in
+  let arena = Arena.local () in
+  let cap = m + 1 in
+  let hn = Arena.ints arena ~len:cap ~fill:0 in
+  let he = Arena.ints arena ~len:cap ~fill:0 in
+  let hf = Arena.ints arena ~len:cap ~fill:0 in
+  walk st.csr st.ptr st.used (Arena.arr hn) (Arena.arr he) (Arena.arr hf)
+    (fun edge src dst -> out := { edge; src; dst } :: !out)
+    start;
+  Arena.release arena hf;
+  Arena.release arena he;
+  Arena.release arena hn;
   !out
 
 let circuit_from g v =
@@ -67,13 +91,45 @@ let circuits g =
     if rep.(comp.(v)) < 0 && Multigraph.degree g v > 0 then rep.(comp.(v)) <- v
   done;
   Array.to_list rep
-  |> List.filter_map (fun v ->
+  |> (List.filter_map [@lint.allow
+       "hotpath: circuits is the cold list-of-lists public API — one \
+        call per component, never on the per-edge orientation path \
+        (orient builds flat arrays directly)"]) (fun v ->
          if v < 0 then None else Some (circuit_of_state g st v))
 
+let orient g =
+  check_even g;
+  let n = Multigraph.n_nodes g and m = Multigraph.n_edges g in
+  let csr = Multigraph.freeze g in
+  let arena = Arena.local () in
+  let hp = Arena.ints arena ~len:(max n 1) ~fill:0 in
+  let hu = Arena.ints arena ~len:(max m 1) ~fill:0 in
+  let cap = m + 1 in
+  let hn = Arena.ints arena ~len:cap ~fill:0 in
+  let he = Arena.ints arena ~len:cap ~fill:0 in
+  let hf = Arena.ints arena ~len:cap ~fill:0 in
+  let ptr = Arena.arr hp and used = Arena.arr hu in
+  let sn = Arena.arr hn and se = Arena.arr he and sf = Arena.arr hf in
+  Array.blit csr.Multigraph.Csr.offsets 0 ptr 0 n;
+  let srcs = Array.make m (-1) and dsts = Array.make m (-1) in
+  (* The first positive-degree node of each component starts the full
+     circuit of that component; later nodes find all incident edges
+     used and walk for free — no separate component pass needed. *)
+  for v = 0 to n - 1 do
+    if Multigraph.Csr.slots csr v > 0 then
+      walk csr ptr used sn se sf
+        (fun e src dst ->
+          srcs.(e) <- src;
+          dsts.(e) <- dst)
+        v
+  done;
+  Arena.release arena hf;
+  Arena.release arena he;
+  Arena.release arena hn;
+  Arena.release arena hu;
+  Arena.release arena hp;
+  (srcs, dsts)
+
 let orientation g =
-  let result = Array.make (Multigraph.n_edges g) (-1, -1) in
-  List.iter
-    (fun circuit ->
-      List.iter (fun { edge; src; dst } -> result.(edge) <- (src, dst)) circuit)
-    (circuits g);
-  result
+  let srcs, dsts = orient g in
+  Array.init (Array.length srcs) (fun e -> (srcs.(e), dsts.(e)))

@@ -26,9 +26,16 @@ val circuit_from : Multigraph.t -> int -> arc list
     @raise Invalid_argument if some node of [g] has odd degree. *)
 val circuits : Multigraph.t -> arc list list
 
-(** [orientation g] assigns each edge the direction in which some Euler
-    circuit traverses it: [orientation g].(e) is [(src, dst)].  Each
-    node then has exactly [degree/2] outgoing and [degree/2] incoming
-    arcs — the property step 3 of the paper's algorithm needs.
+(** [orient g] assigns each edge the direction in which some Euler
+    circuit traverses it, as struct-of-arrays: [(srcs, dsts)] with
+    edge [e] oriented [srcs.(e) -> dsts.(e)].  Each node then has
+    exactly [degree/2] outgoing and [degree/2] incoming arcs — the
+    property step 3 of the paper's algorithm needs.  This is the hot
+    entry point: scratch state lives in the calling domain's
+    {!Arena}, and nothing is allocated per edge beyond the two result
+    arrays.
     @raise Invalid_argument if some node has odd degree. *)
+val orient : Multigraph.t -> int array * int array
+
+(** {!orient} as an array of [(src, dst)] pairs. *)
 val orientation : Multigraph.t -> (int * int) array

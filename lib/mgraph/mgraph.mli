@@ -1,6 +1,7 @@
 (** Umbrella module for the multigraph substrate. *)
 
 module Vec = Vec
+module Arena = Arena
 module Heap = Heap
 module Stats = Stats
 module Multigraph = Multigraph

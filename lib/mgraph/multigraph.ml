@@ -1,11 +1,27 @@
 type edge = { id : int; u : int; v : int }
 
+module Csr = struct
+  type t = {
+    offsets : int array;
+    neighbors : int array;
+    edge_ids : int array;
+  }
+
+  let row_start t v = Array.unsafe_get t.offsets v
+  let row_stop t v = Array.unsafe_get t.offsets (v + 1)
+  let slots t v = t.offsets.(v + 1) - t.offsets.(v)
+end
+
 type t = {
   mutable n : int;
   edges : edge Vec.t;
   (* adjacency: for each node, incident edge ids (self-loop listed once) *)
   mutable adj : int Vec.t array;
   mutable deg : int array;
+  (* cached flat view; rebuilt by [freeze], dropped on any mutation.
+     The arrays inside are never written after construction, so a
+     [copy] may share the cache with its source. *)
+  mutable csr : Csr.t option;
 }
 
 let dummy_edge = { id = -1; u = -1; v = -1 }
@@ -17,6 +33,7 @@ let create ?(n = 0) () =
     edges = Vec.create ~dummy:dummy_edge ();
     adj = Array.init (max n 1) (fun _ -> Vec.create ~dummy:(-1) ());
     deg = Array.make (max n 1) 0;
+    csr = None;
   }
 
 let ensure_capacity g =
@@ -34,6 +51,7 @@ let add_node g =
   let id = g.n in
   g.n <- g.n + 1;
   ensure_capacity g;
+  g.csr <- None;
   id
 
 let n_nodes g = g.n
@@ -50,6 +68,7 @@ let add_edge g u v =
   if u <> v then ignore (Vec.push g.adj.(v) id);
   g.deg.(u) <- g.deg.(u) + 1;
   g.deg.(v) <- g.deg.(v) + 1;
+  g.csr <- None;
   id
 
 let edge g e =
@@ -89,6 +108,37 @@ let iter_incident g v f =
   check_node g v "Multigraph.iter_incident";
   Vec.iter f g.adj.(v)
 
+(* Canonical incidence order is insertion order (oldest edge first):
+   [incident], [iter_incident] and the CSR rows of [freeze] all agree
+   on it, and the determinism tests pin it. *)
+let freeze g =
+  match g.csr with
+  | Some c -> c
+  | None ->
+      let n = g.n in
+      let offsets = Array.make (n + 1) 0 in
+      let total = ref 0 in
+      for v = 0 to n - 1 do
+        offsets.(v) <- !total;
+        total := !total + Vec.length g.adj.(v)
+      done;
+      offsets.(n) <- !total;
+      let neighbors = Array.make !total (-1) in
+      let edge_ids = Array.make !total (-1) in
+      for v = 0 to n - 1 do
+        let row = g.adj.(v) in
+        let base = offsets.(v) in
+        for k = 0 to Vec.length row - 1 do
+          let e = Vec.get row k in
+          let { u = a; v = b; _ } = Vec.get g.edges e in
+          edge_ids.(base + k) <- e;
+          neighbors.(base + k) <- (if a = v then b else a)
+        done
+      done;
+      let c = { Csr.offsets; neighbors; edge_ids } in
+      g.csr <- Some c;
+      c
+
 let multiplicity g u v =
   check_node g u "Multigraph.multiplicity";
   check_node g v "Multigraph.multiplicity";
@@ -103,26 +153,45 @@ let iter_edges g f = Vec.iter f g.edges
 let fold_edges f g acc = Vec.fold (fun acc e -> f e acc) acc g.edges
 let edges g = Vec.to_list g.edges
 
+(* Normalized endpoint pair packed into one int: fits because node ids
+   are array indices, so [n * n] stays well inside 63 bits. *)
+let pair_keys g =
+  let m = n_edges g in
+  let keys = Array.make m 0 in
+  iter_edges g (fun { id; u; v } ->
+      let a = if u <= v then u else v and b = if u <= v then v else u in
+      keys.(id) <- (a * g.n) + b);
+  Array.sort (fun (a : int) b -> compare a b) keys;
+  keys
+
 let max_multiplicity g =
-  (* group edges by normalized endpoint pair *)
-  let tbl = Hashtbl.create (max 16 (n_edges g)) in
-  let best = ref 0 in
-  iter_edges g (fun { u; v; _ } ->
-      let key = if u <= v then (u, v) else (v, u) in
-      let c = (try Hashtbl.find tbl key with Not_found -> 0) + 1 in
-      Hashtbl.replace tbl key c;
-      if c > !best then best := c);
-  !best
+  if n_edges g = 0 then 0
+  else begin
+    let keys = pair_keys g in
+    let best = ref 1 and run = ref 1 in
+    for i = 1 to Array.length keys - 1 do
+      if keys.(i) = keys.(i - 1) then begin
+        incr run;
+        if !run > !best then best := !run
+      end
+      else run := 1
+    done;
+    !best
+  end
 
 let sub g keep =
+  let count = ref 0 in
+  iter_edges g (fun { id; _ } -> if keep id then incr count);
+  let mapping = Array.make !count (-1) in
   let h = create ~n:g.n () in
-  let mapping = Vec.create ~dummy:(-1) () in
+  let k = ref 0 in
   iter_edges g (fun { id; u; v } ->
       if keep id then begin
         ignore (add_edge h u v);
-        ignore (Vec.push mapping id)
+        mapping.(!k) <- id;
+        incr k
       end);
-  (h, Vec.to_array mapping)
+  (h, mapping)
 
 let copy g =
   {
@@ -130,18 +199,20 @@ let copy g =
     edges = Vec.copy g.edges;
     adj = Array.map Vec.copy g.adj;
     deg = Array.copy g.deg;
+    csr = g.csr;
   }
 
 let is_simple g =
-  let tbl = Hashtbl.create (max 16 (n_edges g)) in
-  let ok = ref true in
-  iter_edges g (fun { u; v; _ } ->
-      if u = v then ok := false
-      else begin
-        let key = if u <= v then (u, v) else (v, u) in
-        if Hashtbl.mem tbl key then ok := false else Hashtbl.add tbl key ()
-      end);
-  !ok
+  let no_loop = ref true in
+  iter_edges g (fun { u; v; _ } -> if u = v then no_loop := false);
+  !no_loop
+  &&
+  let keys = pair_keys g in
+  let distinct = ref true in
+  for i = 1 to Array.length keys - 1 do
+    if keys.(i) = keys.(i - 1) then distinct := false
+  done;
+  !distinct
 
 let handshake_ok g =
   let total = ref 0 in
@@ -154,3 +225,54 @@ let pp ppf g =
   Format.fprintf ppf "@[<v>graph %d nodes %d edges@," (n_nodes g) (n_edges g);
   iter_edges g (fun { id; u; v } -> Format.fprintf ppf "  e%d: %d -- %d@," id u v);
   Format.fprintf ppf "@]"
+
+(* Pre-flat-core reference implementations, kept verbatim so the
+   qcheck differential suite (test/test_flatcore.ml) can assert the
+   array/CSR paths above agree with the original list/Hashtbl code.
+   Nothing in lib/ may call these; they are test oracles only. *)
+module Slow = struct
+  let incident g v =
+    check_node g v "Multigraph.Slow.incident";
+    Vec.to_list g.adj.(v)
+
+  let multiplicity g u v =
+    check_node g u "Multigraph.Slow.multiplicity";
+    check_node g v "Multigraph.Slow.multiplicity";
+    List.length
+      (List.filter
+         (fun e ->
+           let { u = a; v = b; _ } = edge g e in
+           (a = u && b = v) || (a = v && b = u))
+         (incident g u))
+
+  let max_multiplicity g =
+    let tbl = Hashtbl.create (max 16 (n_edges g)) in
+    let best = ref 0 in
+    iter_edges g (fun { u; v; _ } ->
+        let key = if u <= v then (u, v) else (v, u) in
+        let c = (try Hashtbl.find tbl key with Not_found -> 0) + 1 in
+        Hashtbl.replace tbl key c;
+        if c > !best then best := c);
+    !best
+
+  let is_simple g =
+    let tbl = Hashtbl.create (max 16 (n_edges g)) in
+    let ok = ref true in
+    iter_edges g (fun { u; v; _ } ->
+        if u = v then ok := false
+        else begin
+          let key = if u <= v then (u, v) else (v, u) in
+          if Hashtbl.mem tbl key then ok := false else Hashtbl.add tbl key ()
+        end);
+    !ok
+
+  let sub g keep =
+    let h = create ~n:g.n () in
+    let mapping = Vec.create ~dummy:(-1) () in
+    iter_edges g (fun { id; u; v } ->
+        if keep id then begin
+          ignore (add_edge h u v);
+          ignore (Vec.push mapping id)
+        end);
+    (h, Vec.to_array mapping)
+end

@@ -19,6 +19,30 @@ type edge = {
   v : int;  (** destination endpoint *)
 }
 
+(** Flat compressed-sparse-row view of the adjacency structure.
+
+    Row [v] occupies slots [offsets.(v) .. offsets.(v+1) - 1] of the
+    flat arrays; slot [k] holds the id of the [k]-th incident edge in
+    {e canonical incidence order} (insertion order, oldest first —
+    exactly the order of {!incident}) together with the neighbor it
+    leads to ([v] itself for a self-loop, which occupies one slot).
+
+    The arrays are never mutated after construction: hot kernels may
+    capture them and index without re-checking the graph. *)
+module Csr : sig
+  type t = {
+    offsets : int array;  (** length [n+1]; [offsets.(n)] = total slots *)
+    neighbors : int array;  (** other endpoint per slot *)
+    edge_ids : int array;  (** edge id per slot *)
+  }
+
+  val row_start : t -> int -> int
+  val row_stop : t -> int -> int
+
+  (** Slots in row [v]: the degree of [v] counting self-loops once. *)
+  val slots : t -> int -> int
+end
+
 (** [create ~n ()] is a graph with [n] nodes and no edges. *)
 val create : ?n:int -> unit -> t
 
@@ -48,11 +72,20 @@ val degree : t -> int -> int
 
 val max_degree : t -> int
 
-(** Edge ids incident to a node, most recently added first.  A
-    self-loop appears once in this list (but counts 2 in {!degree}). *)
+(** Edge ids incident to a node, in canonical incidence order:
+    insertion order, oldest edge first.  A self-loop appears once in
+    this list (but counts 2 in {!degree}).  {!iter_incident} and the
+    CSR rows of {!freeze} visit edges in the same order; determinism
+    tests pin it. *)
 val incident : t -> int -> int list
 
 val iter_incident : t -> int -> (int -> unit) -> unit
+
+(** [freeze g] is the CSR view of [g]'s current adjacency, built in
+    O(n + m) and cached on the graph; any later {!add_node} or
+    {!add_edge} drops the cache, so repeated freezes of an unchanged
+    graph are free.  The returned arrays must not be written. *)
+val freeze : t -> Csr.t
 
 (** [multiplicity g u v] is the number of parallel edges between [u]
     and [v] (direction-insensitive). *)
@@ -83,3 +116,15 @@ val is_simple : t -> bool
 val handshake_ok : t -> bool
 
 val pp : Format.formatter -> t -> unit
+
+(** Pre-flat-core reference implementations (the original list/Hashtbl
+    code), kept as oracles for the differential test suite.  Same
+    contracts as the top-level functions of the same name; library
+    code must not call these. *)
+module Slow : sig
+  val incident : t -> int -> int list
+  val multiplicity : t -> int -> int -> int
+  val max_multiplicity : t -> int
+  val is_simple : t -> bool
+  val sub : t -> (int -> bool) -> t * int array
+end

@@ -1,62 +1,103 @@
+(* Traversals over the CSR view.  Queues and stacks are arena scratch;
+   only the result arrays/lists are allocated. *)
+
 let bfs g src =
   let n = Multigraph.n_nodes g in
+  let csr = Multigraph.freeze g in
   let dist = Array.make n (-1) in
-  let queue = Queue.create () in
+  let arena = Arena.local () in
+  let hq = Arena.ints arena ~len:n ~fill:0 in
+  let q = Arena.arr hq in
+  let head = ref 0 and tail = ref 0 in
   dist.(src) <- 0;
-  Queue.add src queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.take queue in
-    Multigraph.iter_incident g u (fun e ->
-        let w = Multigraph.other_endpoint g e u in
-        if dist.(w) < 0 then begin
-          dist.(w) <- dist.(u) + 1;
-          Queue.add w queue
-        end)
+  q.(0) <- src;
+  tail := 1;
+  while !head < !tail do
+    let u = q.(!head) in
+    incr head;
+    for p = Multigraph.Csr.row_start csr u to Multigraph.Csr.row_stop csr u - 1
+    do
+      let w = csr.Multigraph.Csr.neighbors.(p) in
+      if dist.(w) < 0 then begin
+        dist.(w) <- dist.(u) + 1;
+        q.(!tail) <- w;
+        incr tail
+      end
+    done
   done;
+  Arena.release arena hq;
   dist
 
 let dfs_order g src =
   let n = Multigraph.n_nodes g in
+  let m = Multigraph.n_edges g in
+  let csr = Multigraph.freeze g in
   let seen = Array.make n false in
   let order = ref [] in
-  let stack = ref [ src ] in
-  while !stack <> [] do
-    match !stack with
-    | [] -> ()
-    | u :: rest ->
-        stack := rest;
-        if not seen.(u) then begin
-          seen.(u) <- true;
-          order := u :: !order;
-          Multigraph.iter_incident g u (fun e ->
-              let w = Multigraph.other_endpoint g e u in
-              if not seen.(w) then stack := w :: !stack)
+  let arena = Arena.local () in
+  (* each endpoint visit pushes at most its row, so 2m + 1 bounds the
+     stack (duplicates allowed, filtered by [seen] at pop — exactly the
+     original list-stack semantics, hence the same preorder) *)
+  let hs = Arena.ints arena ~len:((2 * m) + 1) ~fill:0 in
+  let stack = Arena.arr hs in
+  stack.(0) <- src;
+  let top = ref 0 in
+  while !top >= 0 do
+    let u = stack.(!top) in
+    decr top;
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      order := u :: !order;
+      for
+        p = Multigraph.Csr.row_start csr u to Multigraph.Csr.row_stop csr u - 1
+      do
+        let w = csr.Multigraph.Csr.neighbors.(p) in
+        if not seen.(w) then begin
+          incr top;
+          stack.(!top) <- w
         end
+      done
+    end
   done;
-  List.rev !order
+  Arena.release arena hs;
+  (List.rev [@lint.allow
+    "hotpath: dfs_order's public return type is a list — one reversal \
+     per call, after the arena-stack walk; callers are cold setup \
+     paths"]) !order
 
 let components g =
   let n = Multigraph.n_nodes g in
+  let csr = Multigraph.freeze g in
   let comp = Array.make n (-1) in
+  let arena = Arena.local () in
+  let hq = Arena.ints arena ~len:(max n 1) ~fill:0 in
+  let q = Arena.arr hq in
   let k = ref 0 in
   for src = 0 to n - 1 do
     if comp.(src) < 0 then begin
       let id = !k in
       incr k;
-      let queue = Queue.create () in
       comp.(src) <- id;
-      Queue.add src queue;
-      while not (Queue.is_empty queue) do
-        let u = Queue.take queue in
-        Multigraph.iter_incident g u (fun e ->
-            let w = Multigraph.other_endpoint g e u in
-            if comp.(w) < 0 then begin
-              comp.(w) <- id;
-              Queue.add w queue
-            end)
+      q.(0) <- src;
+      let head = ref 0 and tail = ref 1 in
+      while !head < !tail do
+        let u = q.(!head) in
+        incr head;
+        for
+          p = Multigraph.Csr.row_start csr u
+          to Multigraph.Csr.row_stop csr u - 1
+        do
+          let w = csr.Multigraph.Csr.neighbors.(p) in
+          if comp.(w) < 0 then begin
+            comp.(w) <- id;
+            q.(!tail) <- w;
+            incr tail
+          end
+        done
       done
     end
   done;
+  Arena.release arena hq;
   (comp, !k)
 
 let n_components g = snd (components g)

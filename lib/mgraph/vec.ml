@@ -78,6 +78,7 @@ let of_list ~dummy xs =
   v
 
 let to_array v = Array.sub v.data 0 v.len
+let unsafe_data v = v.data
 
 let exists p v =
   let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in

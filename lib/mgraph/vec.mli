@@ -42,5 +42,11 @@ val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val to_list : 'a t -> 'a list
 val of_list : dummy:'a -> 'a list -> 'a t
 val to_array : 'a t -> 'a array
+
+(** The backing array, without copying.  Length is at least {!length};
+    only indices below {!length} hold live values.  Any growing push
+    replaces the backing store, so hot kernels capture this per call
+    and never hold it across mutations. *)
+val unsafe_data : 'a t -> 'a array
 val exists : ('a -> bool) -> 'a t -> bool
 val copy : 'a t -> 'a t

@@ -167,12 +167,12 @@ independent certification, deterministic report.
   
   total: 10 instances, 65 solver runs, 0 failures
 
-An unknown family name lists the seven valid ones:
+An unknown family name lists the valid ones:
 
   $ migrate fuzz --families nope --count 1 2>&1; echo "exit: $?"
   migrate: option '--families': invalid element in list ('nope'): unknown
            family "nope" (expected one of
-           uniform|powerlaw|even|unit|parallel|bottleneck|multipool)
+           uniform|powerlaw|even|unit|parallel|bottleneck|multipool|huge)
   Usage: migrate fuzz [OPTION]…
   Try 'migrate fuzz --help' or 'migrate --help' for more information.
   exit: 124

@@ -1,0 +1,5 @@
+(* hot-kernel fixture: boxed containers on the steady-state path *)
+let slow_lookup tbl xs = List.map (fun x -> Hashtbl.find tbl x) xs
+
+let cold_api xs =
+  (List.length [@lint.allow "hotpath: fixture exercising suppression"]) xs

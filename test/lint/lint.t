@@ -52,6 +52,15 @@ Rule "probes" — non-literal, malformed, and colliding registrations:
   fixtures/lib/core/bad_probe.ml:6 probes probe "core.good_name" registered as both timer and counter (first at fixtures/lib/core/bad_probe.ml:5)
   [1]
 
+Rule "hotpath" — boxed containers in a hot-kernel module (the file
+name marks it: vizing.ml is one of the seven flat-core kernels); the
+reasoned suppression on the cold call produces no finding:
+
+  $ lint --rules hotpath fixtures/lib/coloring/vizing.ml
+  fixtures/lib/coloring/vizing.ml:2 hotpath List.map in a hot kernel — steady-state loops iterate the CSR view with arena scratch; if this site is genuinely off the per-edge path, annotate it with [@lint.allow "hotpath: reason"]
+  fixtures/lib/coloring/vizing.ml:2 hotpath Hashtbl.find in a hot kernel — steady-state loops iterate the CSR view with arena scratch; if this site is genuinely off the per-edge path, annotate it with [@lint.allow "hotpath: reason"]
+  [1]
+
 Rule "mli-coverage" — a library module without an interface:
 
   $ lint --rules mli-coverage fixtures/lib/core/bad_random.ml
@@ -72,7 +81,7 @@ Random.int and the annotated Hashtbl produce no findings:
 The whole corpus at once, all rules — the summary exercised by CI:
 
   $ lint fixtures | wc -l
-  27
+  30
   $ lint fixtures > /dev/null
   [1]
 

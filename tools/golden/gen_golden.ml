@@ -1,0 +1,45 @@
+(* gen_golden — regenerate the flat-core golden schedule fingerprints.
+
+   Writes one line per (family, seed, size, solver):
+
+     family seed size solver n_rounds md5-of-Schedule.to_string
+
+   The committed output (data/golden/schedules.tsv) was produced by the
+   pre-CSR list-path planners; test/test_flatcore.ml replays every row
+   against the current tree and fails on any drift.  Regenerating this
+   file is therefore a deliberate act: it redefines the reference
+   behavior, and belongs in a PR that argues why schedules may change.
+
+     dune exec tools/golden/gen_golden.exe > data/golden/schedules.tsv *)
+
+module M = Migration
+
+let solvers = [ "auto"; "hetero"; "even-opt"; "greedy"; "saia" ]
+let seeds = [ 1; 2; 3 ]
+let sizes = [ 10; 26 ]
+
+(* the perf-scale family is covered by the qcheck differential suite
+   and experiment E11; fingerprinting it here would only slow the
+   regeneration loop down *)
+let families = List.filter (fun f -> f.Gen.name <> "huge") Gen.all
+
+let () =
+  print_string M.Golden.header;
+  List.iter
+    (fun fam ->
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun size ->
+              let inst = Gen.instance fam ~seed ~size in
+              List.iter
+                (fun solver ->
+                  match M.Golden.fingerprint inst ~solver ~seed with
+                  | None -> ()
+                  | Some fp ->
+                      Printf.printf "%s\t%d\t%d\t%s\t%d\t%s\n" fam.Gen.name
+                        seed size solver fp.M.Golden.rounds fp.M.Golden.digest)
+                solvers)
+            sizes)
+        seeds)
+    families

@@ -18,6 +18,7 @@ let known_rules =
     "exception";
     "probes";
     "mli-coverage";
+    "hotpath";
   ]
 
 let payload_string : Parsetree.payload -> string option = function

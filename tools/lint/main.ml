@@ -10,7 +10,8 @@
 
 let usage =
   "usage: lint [--rules r1,r2] [--list-rules] PATH...\n\
-   Rules: determinism domain-safety layering exception probes mli-coverage"
+   Rules: determinism domain-safety layering exception probes\n\
+ \  mli-coverage hotpath"
 
 let fail fmt =
   Printf.ksprintf
@@ -87,6 +88,8 @@ let () =
                    else []);
                   (if enabled "probes" then
                      [ Rule_probes.check probes_state file emit ]
+                   else []);
+                  (if enabled "hotpath" then [ Rule_hotpath.check file emit ]
                    else []);
                 ]
             in

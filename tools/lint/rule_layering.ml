@@ -34,8 +34,11 @@ let allowed =
     ("probes", []);
     ("mgraph", []);
     ("exec", [ "probes" ]);
-    ("netflow", [ "mgraph"; "probes" ]);
-    ("coloring", [ "mgraph"; "netflow"; "probes" ]);
+    (* exec is parallel infrastructure (a domain pool), not an upper
+       layer: the flow/coloring kernels take an optional pool to solve
+       independent per-component subproblems concurrently *)
+    ("netflow", [ "mgraph"; "probes"; "exec" ]);
+    ("coloring", [ "mgraph"; "netflow"; "probes"; "exec" ]);
     ("migration", [ "mgraph"; "netflow"; "coloring"; "probes"; "exec" ]);
     ( "gen",
       [ "mgraph"; "netflow"; "coloring"; "probes"; "exec"; "migration" ] );
