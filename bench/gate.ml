@@ -266,6 +266,53 @@ let () =
                 failed := true
               end)
         alloc_budgets);
+  (* E12 service throughput: items/sec at jobs=1, gated against the
+     baseline's section with the same tolerance as wall time (inverse
+     direction: fewer items per second is the regression) *)
+  let service_tput text =
+    match section text ~key:"service" ~open_:'{' ~close:'}' with
+    | None -> None
+    | Some body -> (
+        match find_from body "\"jobs\": 1" 0 with
+        | None -> None
+        | Some i ->
+            Option.map
+              (fun t -> (body, t))
+              (scrape_float body ~key:"items_per_sec" ~from:i))
+  in
+  (match (service_tput base, service_tput cur) with
+  | None, None -> ()
+  | None, Some (body, t) ->
+      let p50 = scrape_float body ~key:"p50" ~from:0
+      and p99 = scrape_float body ~key:"p99" ~from:0 in
+      Printf.printf
+        "\nserve throughput: %.0f items/sec (p50=%.0f p99=%.0f rounds; no \
+         baseline section, not gated)\n"
+        t
+        (Option.value ~default:0.0 p50)
+        (Option.value ~default:0.0 p99)
+  | Some _, None ->
+      Printf.printf
+        "\nserve throughput: section missing from current — REGRESSION\n";
+      failed := true
+  | Some (_, tb), Some (body, tc) ->
+      let p50 = scrape_float body ~key:"p50" ~from:0
+      and p99 = scrape_float body ~key:"p99" ~from:0 in
+      let floor = tb /. (1.0 +. !tolerance) in
+      if tc >= floor then
+        Printf.printf
+          "\nserve throughput: %.0f items/sec vs baseline %.0f (floor %.0f) \
+           ok; p50=%.0f p99=%.0f rounds\n"
+          tc tb floor
+          (Option.value ~default:0.0 p50)
+          (Option.value ~default:0.0 p99)
+      else begin
+        Printf.printf
+          "\nserve throughput: %.0f items/sec — BELOW %.0f (baseline %.0f / \
+           tolerance) — REGRESSION\n"
+          tc floor tb;
+        failed := true
+      end);
   if !failed then begin
     Printf.printf "\nGATE FAILED\n";
     exit 1

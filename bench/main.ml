@@ -1247,6 +1247,95 @@ let e11_huge () =
         runs )
 
 (* ------------------------------------------------------------------ *)
+(* E12 (CLI key "serve"): the streaming service end to end — Zipf     *)
+(* demand-shift re-layouts admitted, epoch-batched, warm-replanned,   *)
+(* executed, and certified while the clock runs                       *)
+
+(* stashed by serve for the --json writer:
+   (items, transfers, p50, p99, certify seconds,
+    runs (jobs, wall_s, items_per_sec)) *)
+let serve_detail :
+    (int * int * int * int * float * (int * float * float) list) option ref =
+  ref None
+
+let e12_serve () =
+  header "E12 [serve]  streaming service: epoch-batched Zipf demand shifts";
+  (* the demand vector follows the Zipf(1.1) popularity law of the
+     paper's million-user workloads, aggregated over the object set *)
+  let n_disks = 24 and n_items = 40_000 in
+  let rng = rng_of 921 in
+  let caps = Array.init n_disks (fun i -> 2 + (i mod 4)) in
+  let demands = Workloads.Demand.demands rng ~n:n_items ~s:1.1 in
+  let weights = Array.map float_of_int caps in
+  let placement =
+    Storsim.Placement.to_array (Workloads.Layout.balance ~demands ~weights)
+  in
+  let cluster = { Service.caps; placement; demands } in
+  let requests =
+    [
+      { Service.at = 0; trigger = Service.Demand_shift { fraction = 0.08 } };
+      { Service.at = 50; trigger = Service.Add_disk { cap = 4 } };
+      { Service.at = 120; trigger = Service.Demand_shift { fraction = 0.05 } };
+      { Service.at = 200; trigger = Service.Remove_disk { disk = 3 } };
+    ]
+  in
+  Printf.printf
+    "%d disks, %d items, Zipf(1.1) demands; 2 demand shifts + 1 add + 1 \
+     drain\n\n"
+    n_disks n_items;
+  let serve jobs =
+    Service.run ~jobs ~epoch_rounds:64 ~rng_seed:922 cluster ~requests ()
+  in
+  ignore (serve 1);
+  (* warm up allocators and code paths before timing *)
+  let runs =
+    List.map
+      (fun jobs ->
+        let r, t = wall_clock (fun () -> serve jobs) in
+        (jobs, r, t))
+      [ 1; 2; 4 ]
+  in
+  let render (r : Service.report) =
+    Format.asprintf "%a@.%a@." Service.pp_report r Service.pp_statuses r
+  in
+  let base_report =
+    match runs with (1, r, _) :: _ -> render r | _ -> assert false
+  in
+  List.iter
+    (fun (jobs, r, _) ->
+      if render r <> base_report then
+        failwith
+          (Printf.sprintf "e12: service report at --jobs %d differs from \
+                           --jobs 1" jobs))
+    runs;
+  let r0, base_t =
+    match runs with (1, r, t) :: _ -> (r, t) | _ -> assert false
+  in
+  let verdict, certify_t =
+    wall_clock (fun () -> M.Certify.certify_service r0.Service.execution)
+  in
+  if not (M.Certify.service_ok verdict) then
+    failwith "e12: concatenated flight log failed certification";
+  Printf.printf
+    "%d epochs, %d global rounds, %d transfers; request latency p50=%d \
+     p99=%d rounds\ncertified in %.3f s; reports bit-identical across jobs\n\n"
+    r0.Service.epochs r0.Service.total_rounds r0.Service.transfers
+    r0.Service.p50 r0.Service.p99 certify_t;
+  Printf.printf "%6s %10s %12s %9s\n" "jobs" "wall (s)" "items/sec" "speedup";
+  let run_rows =
+    List.map
+      (fun (jobs, (r : Service.report), t) ->
+        let tput = float_of_int r.Service.transfers /. t in
+        Printf.printf "%6d %10.3f %12.0f %8.2fx\n" jobs t tput (base_t /. t);
+        (jobs, t, tput))
+      runs
+  in
+  serve_detail :=
+    Some
+      ( n_items, r0.Service.transfers, r0.Service.p50, r0.Service.p99,
+        certify_t, run_rows )
+
+(* ------------------------------------------------------------------ *)
 (* E10 (CLI key "engine"): incremental re-planning vs the oracle       *)
 
 (* stashed by the engine experiment for the --json writer:
@@ -1335,6 +1424,7 @@ let experiments =
     ("e9", e9_parallel);
     ("e11", e11_huge);
     ("engine", e10_engine);
+    ("serve", e12_serve);
   ]
 
 (* --json: the perf-regression baseline.  Handwritten like
@@ -1342,7 +1432,7 @@ let experiments =
 let write_json ~path timings =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": \"pr6\",\n";
+  Buffer.add_string buf "  \"bench\": \"pr7\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"recommended_domains\": %d,\n" (Exec.default_jobs ()));
   Buffer.add_string buf "  \"experiments\": [\n";
@@ -1399,6 +1489,28 @@ let write_json ~path timings =
             (Printf.sprintf
                "      { \"jobs\": %d, \"wall_s\": %.6f, \"speedup\": %.3f }%s\n"
                jobs t (base_t /. t)
+               (if i = List.length runs - 1 then "" else ",")))
+        runs;
+      Buffer.add_string buf "    ],\n";
+      Buffer.add_string buf "    \"identical_schedules\": true\n";
+      Buffer.add_string buf "  }");
+  (match !serve_detail with
+  | None -> ()
+  | Some (items, transfers, p50, p99, certify_s, runs) ->
+      Buffer.add_string buf ",\n  \"service\": {\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    \"items\": %d,\n    \"transfers\": %d,\n    \"p50\": %d,\n    \
+            \"p99\": %d,\n    \"certify_s\": %.6f,\n"
+           items transfers p50 p99 certify_s);
+      Buffer.add_string buf "    \"runs\": [\n";
+      List.iteri
+        (fun i (jobs, t, tput) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      { \"jobs\": %d, \"wall_s\": %.6f, \"items_per_sec\": \
+                %.1f }%s\n"
+               jobs t tput
                (if i = List.length runs - 1 then "" else ",")))
         runs;
       Buffer.add_string buf "    ],\n";

@@ -624,15 +624,95 @@ let fuzz_engine ~families ~count ~seed ~size ~jobs ~fault_rate ~metrics
   report_metrics ~metrics ~metrics_json;
   if report.Gen.Fuzz.eng_failures <> [] then exit 1
 
-let fuzz families count seed size jobs fault_rate inject_broken regress_dir
-    metrics metrics_json =
+(* service soak fuzzing: drive the whole streaming daemon over every
+   generated instance and certify each concatenated flight log *)
+let fuzz_service ~families ~count ~seed ~size ~jobs ~fault_rate ~regress_dir
+    ~metrics ~metrics_json =
+  let drive ~inst ~seed =
+    match Service.soak ~epoch_rounds:4 ~fault_rate ~inst ~seed () with
+    | Ok (s : Service.soak_stats) ->
+        Ok
+          {
+            Gen.Fuzz.ss_epochs = s.Service.soak_epochs;
+            ss_rounds = s.Service.soak_rounds;
+            ss_transfers = s.Service.soak_transfers;
+            ss_completed = s.Service.soak_completed;
+            ss_abandoned = s.Service.soak_abandoned;
+            ss_rejected = s.Service.soak_rejected;
+          }
+    | Error msgs -> Error msgs
+  in
+  let report =
+    Gen.Fuzz.run_service ~size ~jobs ~drive ~families ~count ~seed ()
+  in
+  Printf.printf
+    "service fuzz: %d families x %d instances, size %d, fault rate %g, seed %d\n\n"
+    (List.length families) count size fault_rate seed;
+  Printf.printf "%-12s %6s %6s %9s %9s %9s %8s\n" "family" "epochs" "rounds"
+    "transfers" "completed" "abandoned" "rejected";
+  List.iter
+    (fun (name, (t : Gen.Fuzz.service_stats)) ->
+      Printf.printf "%-12s %6d %6d %9d %9d %9d %8d\n" name
+        t.Gen.Fuzz.ss_epochs t.Gen.Fuzz.ss_rounds t.Gen.Fuzz.ss_transfers
+        t.Gen.Fuzz.ss_completed t.Gen.Fuzz.ss_abandoned
+        t.Gen.Fuzz.ss_rejected)
+    report.Gen.Fuzz.svc_per_family;
+  Printf.printf "\ntotal: %d soaks, all certified: %s, %d failures\n"
+    report.Gen.Fuzz.svc_instances
+    (if report.Gen.Fuzz.svc_failures = [] then "yes" else "NO")
+    (List.length report.Gen.Fuzz.svc_failures);
+  let regress_dir =
+    match regress_dir with
+    | Some d -> if Sys.file_exists d then Some d else None
+    | None ->
+        if Sys.file_exists "data/regressions" then Some "data/regressions"
+        else None
+  in
+  List.iter
+    (fun (f : Gen.Fuzz.service_failure) ->
+      Printf.printf "\nFAILURE family=%s seed=%d size=%d\n" f.Gen.Fuzz.sf_family
+        f.Gen.Fuzz.sf_seed f.Gen.Fuzz.sf_size;
+      List.iter (fun m -> Printf.printf "  - %s\n" m) f.Gen.Fuzz.sf_messages;
+      Printf.printf
+        "  reproduce: migrate generate --family %s --seed %d --size %d > bad.inst\n"
+        f.Gen.Fuzz.sf_family f.Gen.Fuzz.sf_seed f.Gen.Fuzz.sf_size;
+      let shrunk = f.Gen.Fuzz.sf_shrunk in
+      Printf.printf "  shrunk reproducer (%d disks, %d items):\n"
+        (Migration.Instance.n_disks shrunk)
+        (Migration.Instance.n_items shrunk);
+      String.split_on_char '\n' (Migration.Instance.to_string shrunk)
+      |> List.iter (fun line -> if line <> "" then Printf.printf "    %s\n" line);
+      match regress_dir with
+      | None -> ()
+      | Some dir ->
+          (* test_corpus.ml replays every .inst in the regressions
+             corpus through the planners AND a fault-free service soak,
+             so the shrunk reproducer becomes a pinned test *)
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "%s_s%d_service.inst" f.Gen.Fuzz.sf_family
+                 f.Gen.Fuzz.sf_seed)
+          in
+          let oc = open_out path in
+          output_string oc (Migration.Instance.to_string shrunk);
+          close_out oc;
+          Printf.printf "  written to %s\n" path)
+    report.Gen.Fuzz.svc_failures;
+  report_metrics ~metrics ~metrics_json;
+  if report.Gen.Fuzz.svc_failures <> [] then exit 1
+
+let fuzz families count seed size jobs fault_rate service inject_broken
+    regress_dir metrics metrics_json =
   if fault_rate < 0.0 || fault_rate >= 1.0 then begin
     Printf.eprintf "error: --fault-rate must be in [0, 1)\n";
     exit 2
   end;
   let families = match families with [] -> Gen.all | fams -> fams in
   Migration.Instr.reset ();
-  if fault_rate > 0.0 then
+  if service then
+    fuzz_service ~families ~count ~seed ~size ~jobs ~fault_rate ~regress_dir
+      ~metrics ~metrics_json
+  else if fault_rate > 0.0 then
     fuzz_engine ~families ~count ~seed ~size ~jobs ~fault_rate ~metrics
       ~metrics_json
   else begin
@@ -741,10 +821,137 @@ let fuzz_cmd =
     in
     Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"P" ~doc)
   in
+  let service =
+    let doc =
+      "Switch to service soak fuzzing: drive the full streaming service \
+       (admission, epoching, warm re-planning, faulted execution) over every \
+       generated instance, certify each concatenated flight log with the \
+       service certifier, and shrink failures to minimal reproducers.  \
+       Combines with $(b,--fault-rate)."
+    in
+    Arg.(value & flag & info [ "service" ] ~doc)
+  in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const fuzz $ families $ count $ seed_arg $ size_arg $ jobs_arg
-      $ fault_rate $ inject_broken $ regress $ metrics_arg $ metrics_json_arg)
+      $ fault_rate $ service $ inject_broken $ regress $ metrics_arg
+      $ metrics_json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve *)
+
+(* --inject-tamper: corrupt the concatenated flight log before
+   certification (testing hook, mirrors --inject-broken above): the
+   first completed transfer is duplicated in its round, breaking
+   exactly-once; a run with no transfers gets its reported final
+   placement flipped instead.  Either way certify_service must reject
+   and the exit code goes non-zero. *)
+let tamper_execution (x : Migration.Certify.service_execution) =
+  let open Migration.Certify in
+  let tampered = ref false in
+  let epochs =
+    List.map
+      (fun ep ->
+        if !tampered then ep
+        else
+          let log =
+            List.map
+              (fun (r : exec_round) ->
+                if (not !tampered) && r.completed <> [] then begin
+                  tampered := true;
+                  { r with completed = List.hd r.completed :: r.completed }
+                end
+                else r)
+              ep.se_log
+          in
+          { ep with se_log = log })
+      x.svc_epochs
+  in
+  if !tampered then { x with svc_epochs = epochs }
+  else { x with svc_final = Array.map (fun d -> d + 1) x.svc_final }
+
+let serve trace_path epoch_rounds fault_rate seed jobs inject_tamper metrics
+    metrics_json =
+  if epoch_rounds < 1 then begin
+    Printf.eprintf "error: --epoch-rounds must be >= 1\n";
+    exit 2
+  end;
+  if fault_rate < 0.0 || fault_rate >= 1.0 then begin
+    Printf.eprintf "error: --fault-rate must be in [0, 1)\n";
+    exit 2
+  end;
+  let contents =
+    try read_file trace_path
+    with Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  in
+  let lines = String.split_on_char '\n' contents in
+  match Service.parse_trace lines with
+  | Error msg ->
+      Printf.eprintf "error: bad trace: %s\n" msg;
+      exit 2
+  | Ok (cluster, requests) ->
+      Migration.Instr.reset ();
+      let policy ~epoch =
+        Storsim.Fault.engine_policy ~fault_rate ~seed:((seed * 31) + epoch) ()
+      in
+      let report =
+        Service.run ~jobs ~epoch_rounds ~rng_seed:seed ~policy cluster
+          ~requests ()
+      in
+      Format.printf "%a@.%a@." Service.pp_report report Service.pp_statuses
+        report;
+      let execution =
+        if inject_tamper then tamper_execution report.Service.execution
+        else report.Service.execution
+      in
+      let v = Migration.Certify.certify_service execution in
+      Format.printf "%a@." Migration.Certify.pp_service v;
+      report_metrics ~metrics ~metrics_json;
+      if report.Service.truncated then begin
+        Printf.eprintf "error: run truncated with work left\n";
+        exit 1
+      end;
+      if not (Migration.Certify.service_ok v) then exit 1
+
+let serve_cmd =
+  let trace =
+    let doc =
+      "Trace file: an 'init ...' line followed by 'at R ...' trigger lines \
+       (see the Service library docs for the format)."
+    in
+    Arg.(
+      required & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let epoch_rounds =
+    let doc = "Executed rounds per epoch before re-admitting arrivals." in
+    Arg.(value & opt int 16 & info [ "epoch-rounds" ] ~docv:"N" ~doc)
+  in
+  let fault_rate =
+    let doc =
+      "Per-transfer failure probability injected into every epoch's \
+       execution."
+    in
+    Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"P" ~doc)
+  in
+  let inject_tamper =
+    let doc =
+      "Corrupt the flight log before certification (testing hook: proves \
+       the certifier rejects a tampered log with a non-zero exit)."
+    in
+    Arg.(value & flag & info [ "inject-tamper" ] ~doc)
+  in
+  let doc =
+    "Run the streaming migration service over a trigger trace: \
+     admission-control each trigger, batch arrivals into bounded epochs, \
+     warm-replan only dirtied components, execute under the fault policy, \
+     and certify the concatenated flight log end to end."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ trace $ epoch_rounds $ fault_rate $ seed_arg $ jobs_arg
+      $ inject_tamper $ metrics_arg $ metrics_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dot *)
@@ -768,4 +975,5 @@ let () =
           [
             generate_cmd; bounds_cmd; plan_cmd; compare_cmd; simulate_cmd;
             exact_cmd; forward_cmd; check_cmd; dot_cmd; analyze_cmd; fuzz_cmd;
+            serve_cmd;
           ]))

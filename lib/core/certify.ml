@@ -290,6 +290,423 @@ let exec_violation_to_string = function
         "%d executed rounds exceed the %d rounds the replans certified" rounds
         bound_sum
 
+(* ------------------------------------------------------------------ *)
+(* Service certification: auditing a whole streaming run — the
+   concatenation of per-epoch flight logs — against the request stream
+   the service claims to have served. *)
+
+type service_epoch = {
+  se_base : int;
+  se_instance : Instance.t;
+  se_items : int array;
+  se_sources : int array;
+  se_targets : int array;
+  se_absorbed : int list;
+  se_retired : int list;
+  se_patches : (int * int) list;
+  se_log : exec_round list;
+  se_idle : int;
+  se_quarantined : int list;
+  se_residual : int list;
+  se_bounds : int list;
+}
+
+type service_request_status =
+  | Sreq_rejected of string
+  | Sreq_completed of { absorbed : int; completed : int }
+  | Sreq_abandoned of { absorbed : int }
+
+type service_request = {
+  sreq_at : int;
+  sreq_moves : (int * int) list;
+  sreq_status : service_request_status;
+}
+
+type service_execution = {
+  svc_initial : int array;
+  svc_final : int array;
+  svc_epochs : service_epoch list;
+  svc_requests : service_request array;
+}
+
+type service_violation =
+  | Svc_epoch of { epoch : int; violation : exec_violation }
+  | Svc_malformed of { epoch : int; what : string }
+  | Svc_bad_base of { epoch : int; base : int; min_base : int }
+  | Svc_bad_absorption of { request : int; epoch : int; base : int; at : int }
+  | Svc_wrong_source of {
+      epoch : int;
+      edge : int;
+      item : int;
+      expected : int;
+      actual : int;
+    }
+  | Svc_item_double_booked of { epoch : int; item : int }
+  | Svc_unrequested_transfer of { epoch : int; edge : int; item : int }
+  | Svc_uses_dead_disk of { epoch : int; disk : int }
+  | Svc_final_mismatch of { item : int; reported : int; replayed : int }
+  | Svc_status_mismatch of {
+      request : int;
+      reported : string;
+      replayed : string;
+    }
+
+type service_verdict = {
+  svc_epoch_count : int;
+  svc_rounds : int;
+  svc_transfers : int;
+  svc_violations : service_violation list;
+}
+
+let service_ok v = v.svc_violations = []
+
+let service_request_status_to_string = function
+  | Sreq_rejected reason -> Printf.sprintf "rejected (%s)" reason
+  | Sreq_completed { absorbed; completed } ->
+      Printf.sprintf "completed@%d (absorbed@%d)" completed absorbed
+  | Sreq_abandoned { absorbed } ->
+      if absorbed < 0 then "abandoned (never absorbed)"
+      else Printf.sprintf "abandoned (absorbed@%d)" absorbed
+
+(* [last_move_target req item] — within one request a later retarget of
+   the same item wins, mirroring the service's admission dedupe. *)
+let last_move_target req item =
+  List.fold_left
+    (fun acc (i, t) -> if i = item then Some t else acc)
+    None req.sreq_moves
+
+let certify_service x =
+  let m_items = Array.length x.svc_initial in
+  let n_requests = Array.length x.svc_requests in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let placement = Array.copy x.svc_initial in
+  let owner = Array.make m_items (-1) in
+  let absorbed_at = Array.make n_requests (-1) in
+  let done_at = Array.make n_requests (-1) in
+  let abandoned = Array.make n_requests false in
+  let outstanding = Array.make n_requests [] in
+  let dead : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let transfers = ref 0 in
+  (* a request is discharged move by move: a move is settled once it is
+     superseded (the item has a newer owner) or in effect (the item
+     sits on its target) — re-checked after every event that can
+     change either *)
+  let live = ref [] (* absorbed, not yet completed/abandoned *) in
+  let discharge_live ~round =
+    live :=
+      List.filter
+        (fun k ->
+          if abandoned.(k) then false
+          else begin
+            outstanding.(k) <-
+              List.filter
+                (fun (item, target) ->
+                  owner.(item) = k && placement.(item) <> target)
+                outstanding.(k);
+            if outstanding.(k) = [] then begin
+              done_at.(k) <- round;
+              false
+            end
+            else true
+          end)
+        !live
+  in
+  let next_absorb = ref 0 (* next non-rejected request index expected *) in
+  let skip_rejected () =
+    while
+      !next_absorb < n_requests
+      && (match x.svc_requests.(!next_absorb).sreq_status with
+         | Sreq_rejected _ -> true
+         | _ -> false)
+    do
+      incr next_absorb
+    done
+  in
+  let prev_end = ref 0 in
+  List.iteri
+    (fun ei ep ->
+      if ep.se_base < !prev_end then
+        add (Svc_bad_base { epoch = ei; base = ep.se_base; min_base = !prev_end });
+      (* --- trigger fallout, part 1: disks retired at this boundary
+         (before absorption — a request arriving alongside the failure
+         must have been admission-checked against the post-failure
+         state) --- *)
+      List.iter (fun d -> Hashtbl.replace dead d ()) ep.se_retired;
+      (* --- absorption: in arrival order, never early, never twice --- *)
+      List.iter
+        (fun k ->
+          if k < 0 || k >= n_requests then
+            add
+              (Svc_malformed
+                 { epoch = ei; what = Printf.sprintf "absorbs unknown request %d" k })
+          else begin
+            skip_rejected ();
+            let req = x.svc_requests.(k) in
+            if k <> !next_absorb || req.sreq_at > ep.se_base then
+              add
+                (Svc_bad_absorption
+                   { request = k; epoch = ei; base = ep.se_base; at = req.sreq_at })
+            else begin
+              next_absorb := k + 1;
+              absorbed_at.(k) <- ep.se_base;
+              let moves = ref [] in
+              List.iter
+                (fun (item, target) ->
+                  if item < 0 || item >= m_items then
+                    add
+                      (Svc_malformed
+                         {
+                           epoch = ei;
+                           what =
+                             Printf.sprintf "request %d moves unknown item %d" k
+                               item;
+                         })
+                  else begin
+                    owner.(item) <- k;
+                    moves := (item, target) :: List.remove_assoc item !moves
+                  end)
+                req.sreq_moves;
+              outstanding.(k) <- List.rev !moves;
+              live := k :: !live
+            end
+          end)
+        ep.se_absorbed;
+      (* --- trigger fallout, part 2: placement repairs off dead disks --- *)
+      List.iter
+        (fun (item, disk) ->
+          if item < 0 || item >= m_items then
+            add
+              (Svc_malformed
+                 { epoch = ei; what = Printf.sprintf "patch of unknown item %d" item })
+          else begin
+            if Hashtbl.mem dead disk then
+              add (Svc_uses_dead_disk { epoch = ei; disk });
+            placement.(item) <- disk
+          end)
+        ep.se_patches;
+      (* a still-owed move targeting a dead disk can never be served:
+         its request is abandoned, stickily — later supersession does
+         not resurrect it (mirrors the service's reconciliation) *)
+      List.iter
+        (fun k ->
+          if
+            (not abandoned.(k))
+            && done_at.(k) < 0
+            && List.exists
+                 (fun (item, target) ->
+                   owner.(item) = k
+                   && placement.(item) <> target
+                   && Hashtbl.mem dead target)
+                 outstanding.(k)
+          then abandoned.(k) <- true)
+        !live;
+      (* supersession and no-op moves settle at the epoch boundary *)
+      discharge_live ~round:ep.se_base;
+      (* --- the epoch instance must be exactly the outstanding work --- *)
+      let m_e = Instance.n_items ep.se_instance in
+      let g_e = Instance.graph ep.se_instance in
+      if
+        Array.length ep.se_items <> m_e
+        || Array.length ep.se_sources <> m_e
+        || Array.length ep.se_targets <> m_e
+      then
+        add
+          (Svc_malformed
+             { epoch = ei; what = "edge maps do not match the instance" })
+      else begin
+        let item_booked = Hashtbl.create 16 in
+        for e = 0 to m_e - 1 do
+          let item = ep.se_items.(e) in
+          let src = ep.se_sources.(e) and dst = ep.se_targets.(e) in
+          if item < 0 || item >= m_items then
+            add
+              (Svc_malformed
+                 { epoch = ei; what = Printf.sprintf "edge %d moves unknown item %d" e item })
+          else begin
+            if Hashtbl.mem item_booked item then
+              add (Svc_item_double_booked { epoch = ei; item })
+            else Hashtbl.replace item_booked item ();
+            let u, v = Multigraph.endpoints g_e e in
+            if not ((u = src && v = dst) || (u = dst && v = src)) then
+              add
+                (Svc_malformed
+                   {
+                     epoch = ei;
+                     what =
+                       Printf.sprintf
+                         "edge %d endpoints (%d,%d) disagree with maps (%d,%d)" e
+                         u v src dst;
+                   });
+            if placement.(item) <> src then
+              add
+                (Svc_wrong_source
+                   { epoch = ei; edge = e; item; expected = placement.(item); actual = src });
+            if Hashtbl.mem dead src then
+              add (Svc_uses_dead_disk { epoch = ei; disk = src });
+            if Hashtbl.mem dead dst then
+              add (Svc_uses_dead_disk { epoch = ei; disk = dst });
+            (let k = owner.(item) in
+             if
+               k < 0 || abandoned.(k)
+               || last_move_target x.svc_requests.(k) item <> Some dst
+             then add (Svc_unrequested_transfer { epoch = ei; edge = e; item }))
+          end
+        done
+      end;
+      (* --- the epoch flight log, under the engine's own certifier ---
+         residual edges are accounted like the quarantine: present,
+         not completed, carried into the next epoch *)
+      let exec =
+        {
+          instance = ep.se_instance;
+          log = ep.se_log;
+          idle_rounds = ep.se_idle;
+          quarantined = ep.se_quarantined @ ep.se_residual;
+          replan_bounds = ep.se_bounds;
+        }
+      in
+      let ev = certify_execution exec in
+      List.iter
+        (fun v -> add (Svc_epoch { epoch = ei; violation = v }))
+        ev.exec_violations;
+      List.iter
+        (fun e ->
+          if List.mem e ep.se_quarantined then
+            add
+              (Svc_malformed
+                 { epoch = ei; what = Printf.sprintf "edge %d both quarantined and residual" e }))
+        ep.se_residual;
+      (* --- replay completions; a transfer is in effect from the next
+         round --- *)
+      List.iteri
+        (fun r round ->
+          let moved = ref false in
+          List.iter
+            (fun e ->
+              if e >= 0 && e < m_e then begin
+                let item = ep.se_items.(e) in
+                if item >= 0 && item < m_items then begin
+                  placement.(item) <- ep.se_targets.(e);
+                  incr transfers;
+                  moved := true
+                end
+              end)
+            round.completed;
+          if !moved then discharge_live ~round:(ep.se_base + r + 1))
+        ep.se_log;
+      let epoch_end = ep.se_base + List.length ep.se_log + ep.se_idle in
+      (* --- quarantined edges abandon their owning request --- *)
+      List.iter
+        (fun e ->
+          if e >= 0 && e < m_e then begin
+            let item = ep.se_items.(e) in
+            if item >= 0 && item < m_items then begin
+              let k = owner.(item) in
+              if k >= 0 && done_at.(k) < 0 && not abandoned.(k) then
+                abandoned.(k) <- true
+            end
+          end)
+        ep.se_quarantined;
+      (* disks crashed mid-epoch are dead from here on: the next
+         boundary's patches and dead-target abandonment scan, and every
+         later epoch's edge endpoints, must see them *)
+      List.iter
+        (fun (round : exec_round) ->
+          List.iter (fun d -> Hashtbl.replace dead d ()) round.crashed)
+        ep.se_log;
+      prev_end := epoch_end)
+    x.svc_epochs;
+  (* --- terminal accounting: statuses and the final placement --- *)
+  Array.iteri
+    (fun k (req : service_request) ->
+      let replayed =
+        match req.sreq_status with
+        | Sreq_rejected _ when absorbed_at.(k) < 0 -> req.sreq_status
+        | Sreq_rejected reason ->
+            (* a rejected request must never be absorbed *)
+            Sreq_rejected (reason ^ ", yet absorbed")
+        | _ ->
+            if done_at.(k) >= 0 && not abandoned.(k) then
+              Sreq_completed { absorbed = absorbed_at.(k); completed = done_at.(k) }
+            else Sreq_abandoned { absorbed = absorbed_at.(k) }
+      in
+      if replayed <> req.sreq_status then
+        add
+          (Svc_status_mismatch
+             {
+               request = k;
+               reported = service_request_status_to_string req.sreq_status;
+               replayed = service_request_status_to_string replayed;
+             }))
+    x.svc_requests;
+  if Array.length x.svc_final <> m_items then
+    add (Svc_malformed { epoch = -1; what = "final placement length mismatch" })
+  else
+    Array.iteri
+      (fun item d ->
+        if placement.(item) <> d then
+          add
+            (Svc_final_mismatch
+               { item; reported = d; replayed = placement.(item) }))
+      x.svc_final;
+  {
+    svc_epoch_count = List.length x.svc_epochs;
+    svc_rounds = !prev_end;
+    svc_transfers = !transfers;
+    svc_violations = List.rev !violations;
+  }
+
+let service_violation_to_string = function
+  | Svc_epoch { epoch; violation } ->
+      Printf.sprintf "epoch %d: %s" epoch (exec_violation_to_string violation)
+  | Svc_malformed { epoch; what } ->
+      if epoch < 0 then Printf.sprintf "malformed record: %s" what
+      else Printf.sprintf "epoch %d: malformed record: %s" epoch what
+  | Svc_bad_base { epoch; base; min_base } ->
+      Printf.sprintf
+        "epoch %d starts at round %d before the previous epoch ended (%d)"
+        epoch base min_base
+  | Svc_bad_absorption { request; epoch; base; at } ->
+      Printf.sprintf
+        "epoch %d (round %d) absorbs request %d out of order or before its \
+         arrival at round %d"
+        epoch base request at
+  | Svc_wrong_source { epoch; edge; item; expected; actual } ->
+      Printf.sprintf
+        "epoch %d: edge %d moves item %d from disk %d but it sits on disk %d"
+        epoch edge item actual expected
+  | Svc_item_double_booked { epoch; item } ->
+      Printf.sprintf "epoch %d: item %d booked on two edges" epoch item
+  | Svc_unrequested_transfer { epoch; edge; item } ->
+      Printf.sprintf
+        "epoch %d: edge %d moves item %d nowhere any live request asked" epoch
+        edge item
+  | Svc_uses_dead_disk { epoch; disk } ->
+      Printf.sprintf "epoch %d: traffic through dead disk %d" epoch disk
+  | Svc_final_mismatch { item; reported; replayed } ->
+      Printf.sprintf
+        "final placement puts item %d on disk %d but the replay lands it on %d"
+        item reported replayed
+  | Svc_status_mismatch { request; reported; replayed } ->
+      Printf.sprintf "request %d reported %s but the replay says %s" request
+        reported replayed
+
+let pp_service ppf v =
+  match v.svc_violations with
+  | [] ->
+      Format.fprintf ppf
+        "service certified: %d epochs, %d rounds, %d transfers"
+        v.svc_epoch_count v.svc_rounds v.svc_transfers
+  | vs ->
+      Format.fprintf ppf
+        "@[<v>SERVICE REJECTED: %d epochs, %d rounds, %d transfers"
+        v.svc_epoch_count v.svc_rounds v.svc_transfers;
+      List.iter
+        (fun x -> Format.fprintf ppf "@,  - %s" (service_violation_to_string x))
+        vs;
+      Format.fprintf ppf "@]"
+
 let pp_exec ppf v =
   match v.exec_violations with
   | [] ->

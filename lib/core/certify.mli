@@ -148,3 +148,113 @@ val certify_execution : execution -> exec_verdict
 
 val exec_violation_to_string : exec_violation -> string
 val pp_exec : Format.formatter -> exec_verdict -> unit
+
+(** {1 Service certification}
+
+    A streaming service run is a sequence of {e epochs}: at each epoch
+    boundary the service absorbs the requests that have arrived, turns
+    their triggers into outstanding [(item, target)] moves, plans the
+    outstanding diff as a migration instance, and executes it through
+    {!Engine.run} for a bounded number of rounds.  The types below are
+    the concatenated flight recorder; {!certify_service} replays the
+    whole stream from the initial placement with no state shared with
+    the service: per-epoch {!certify_execution} (loads under the
+    capacities in force, exactly-once within the epoch), cross-epoch
+    placement continuity (every edge's source is where the replay left
+    the item), absorption order and timing, supersession-aware
+    request accounting (a request completes when each of its moves is
+    in effect or superseded; latencies are re-derived and compared
+    against the reported statuses), no traffic through failed disks,
+    and the final placement.
+
+    Round convention: executed rounds are numbered consecutively from
+    the epoch base ([se_base]); idle (backoff) rounds are accounted at
+    the epoch tail; a transfer completing in executed round [r] is in
+    effect from global round [se_base + r + 1]. *)
+
+type service_epoch = {
+  se_base : int;  (** global round the epoch starts at *)
+  se_instance : Instance.t;     (** the outstanding diff, as planned *)
+  se_items : int array;         (** edge -> item moved *)
+  se_sources : int array;       (** edge -> source disk *)
+  se_targets : int array;       (** edge -> target disk *)
+  se_absorbed : int list;       (** request indices absorbed at [se_base] *)
+  se_retired : int list;        (** disks failed by triggers at [se_base] *)
+  se_patches : (int * int) list;
+      (** [(item, disk)] re-replication repairs applied at [se_base] *)
+  se_log : exec_round list;     (** the epoch's executed rounds *)
+  se_idle : int;
+  se_quarantined : int list;    (** edges dropped — owner abandoned *)
+  se_residual : int list;       (** edges carried into the next epoch *)
+  se_bounds : int list;         (** certified bounds of the epoch's (re)plans *)
+}
+
+type service_request_status =
+  | Sreq_rejected of string     (** failed admission control *)
+  | Sreq_completed of { absorbed : int; completed : int }
+      (** global rounds; latency is [completed - arrival] *)
+  | Sreq_abandoned of { absorbed : int }
+      (** a move was quarantined, or the run was truncated
+          ([absorbed = -1] when never absorbed) *)
+
+type service_request = {
+  sreq_at : int;                 (** arrival round *)
+  sreq_moves : (int * int) list;
+      (** [(item, target)] owed at absorption ([[]] for pure state
+          triggers); within a request, the last retarget of an item
+          wins *)
+  sreq_status : service_request_status;
+}
+
+type service_execution = {
+  svc_initial : int array;       (** item -> disk at service start *)
+  svc_final : int array;         (** reported final placement *)
+  svc_epochs : service_epoch list;
+  svc_requests : service_request array;  (** arrival order *)
+}
+
+type service_violation =
+  | Svc_epoch of { epoch : int; violation : exec_violation }
+      (** the epoch's own flight log failed {!certify_execution} *)
+  | Svc_malformed of { epoch : int; what : string }
+      (** structurally broken record ([epoch = -1]: run-level) *)
+  | Svc_bad_base of { epoch : int; base : int; min_base : int }
+      (** epochs must not overlap *)
+  | Svc_bad_absorption of { request : int; epoch : int; base : int; at : int }
+      (** absorbed out of order, twice, or before arrival *)
+  | Svc_wrong_source of {
+      epoch : int;
+      edge : int;
+      item : int;
+      expected : int;
+      actual : int;
+    }  (** cross-epoch placement continuity broken *)
+  | Svc_item_double_booked of { epoch : int; item : int }
+      (** one item on two edges of the same epoch *)
+  | Svc_unrequested_transfer of { epoch : int; edge : int; item : int }
+      (** a move no live request's current retarget asks for *)
+  | Svc_uses_dead_disk of { epoch : int; disk : int }
+      (** an edge or patch touches a failed disk *)
+  | Svc_final_mismatch of { item : int; reported : int; replayed : int }
+  | Svc_status_mismatch of {
+      request : int;
+      reported : string;
+      replayed : string;
+    }  (** completion/abandonment/latency accounting disagrees *)
+
+type service_verdict = {
+  svc_epoch_count : int;
+  svc_rounds : int;      (** global rounds: end of the last epoch *)
+  svc_transfers : int;   (** transfers completed across all epochs *)
+  svc_violations : service_violation list;  (** empty iff certified *)
+}
+
+val service_ok : service_verdict -> bool
+
+(** [certify_service x] replays the concatenated flight log from
+    [x.svc_initial] and audits every invariant listed above. *)
+val certify_service : service_execution -> service_verdict
+
+val service_request_status_to_string : service_request_status -> string
+val service_violation_to_string : service_violation -> string
+val pp_service : Format.formatter -> service_verdict -> unit

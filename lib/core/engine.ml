@@ -35,6 +35,8 @@ type outcome = {
   total_rounds : int;
   idle_rounds : int;
   rounds_lost : int;
+  residual : int list;
+  remaining_plan : int list array;
 }
 
 exception Plan_rejected of string
@@ -57,10 +59,13 @@ let t_run = Instr.timer "engine.run"
    re-planning until its window expires. *)
 
 let run ?rng ?(jobs = 1) ?(max_retries = 5) ?(backoff_base = 1)
-    ?round_budget ?(incremental = true) ?(choose = Pipeline.auto_choose)
-    ~policy inst =
+    ?round_budget ?stop_after ?(incremental = true) ?(warm = [||])
+    ?(dirty_disks = []) ?(choose = Pipeline.auto_choose) ~policy inst =
   if max_retries < 0 then invalid_arg "Engine.run: max_retries must be >= 0";
   if backoff_base < 1 then invalid_arg "Engine.run: backoff_base must be >= 1";
+  (match stop_after with
+  | Some s when s < 1 -> invalid_arg "Engine.run: stop_after must be >= 1"
+  | _ -> ());
   let g = Instance.graph inst in
   let n = Instance.n_disks inst and m = Instance.n_items inst in
   let round_budget =
@@ -93,6 +98,12 @@ let run ?rng ?(jobs = 1) ?(max_retries = 5) ?(backoff_base = 1)
      since the plan currently executing was produced: their components
      must re-solve, everything else warm-starts *)
   let dirty = Array.make n false in
+  List.iter
+    (fun d ->
+      if d < 0 || d >= n then
+        invalid_arg "Engine.run: dirty_disks out of range";
+      dirty.(d) <- true)
+    dirty_disks;
   let clock = ref 0 in
   let idle = ref 0 in
   let lost = ref 0 in
@@ -101,7 +112,12 @@ let run ?rng ?(jobs = 1) ?(max_retries = 5) ?(backoff_base = 1)
   let plans = ref 0 in
   let replan_bounds = ref [] (* reverse order *) in
   let log = ref [] (* reverse order of executed rounds *) in
-  let future = ref [||] in
+  (* a warm start seeds the plan cursor: the first [make_plan] treats
+     these rounds as the currently executing plan, so components they
+     still cover project verbatim instead of re-solving *)
+  let future =
+    ref (Array.map (List.filter (fun e -> e >= 0 && e < m)) warm)
+  in
   let fp = ref 0 in
   let needs_replan = ref true in
   let crash_list = ref [] in
@@ -240,8 +256,11 @@ let run ?rng ?(jobs = 1) ?(max_retries = 5) ?(backoff_base = 1)
     end
   in
 
+  let stopped () =
+    match stop_after with Some s -> !clock >= s | None -> false
+  in
   Instr.time t_run (fun () ->
-      while !pending > 0 && !clock < round_budget do
+      while !pending > 0 && !clock < round_budget && not (stopped ()) do
         if !needs_replan || !fp >= Array.length !future then begin
           match Instr.time t_plan make_plan with
           | None ->
@@ -366,10 +385,19 @@ let run ?rng ?(jobs = 1) ?(max_retries = 5) ?(backoff_base = 1)
         end
       done;
       (* graceful degradation: a run that exhausts its round budget
-         reports the leftovers instead of spinning *)
-      for e = 0 to m - 1 do
-        if pending_edge e then quarantine e Round_budget_exhausted
-      done);
+         reports the leftovers instead of spinning — unless the caller
+         asked to stop after an epoch, in which case the leftovers are
+         the residual it will hand to the next epoch *)
+      if not (stopped ()) then
+        for e = 0 to m - 1 do
+          if pending_edge e then quarantine e Round_budget_exhausted
+        done);
+  let residual = List.filter pending_edge (List.init m Fun.id) in
+  let remaining_plan =
+    let len = Array.length !future in
+    if !fp >= len then [||]
+    else Array.map (List.filter pending_edge) (Array.sub !future !fp (len - !fp))
+  in
   let log = List.rev !log in
   let quarantine_list = List.rev !quarantine_log in
   let execution =
@@ -394,7 +422,7 @@ let run ?rng ?(jobs = 1) ?(max_retries = 5) ?(backoff_base = 1)
   {
     execution;
     schedule;
-    completed = m - List.length quarantine_list;
+    completed = m - List.length quarantine_list - List.length residual;
     quarantined = quarantine_list;
     crashed = List.rev !crash_list;
     degraded;
@@ -403,6 +431,8 @@ let run ?rng ?(jobs = 1) ?(max_retries = 5) ?(backoff_base = 1)
     total_rounds = !clock;
     idle_rounds = !idle;
     rounds_lost = !lost;
+    residual;
+    remaining_plan;
   }
 
 let pp_outcome ppf o =
@@ -423,6 +453,9 @@ let pp_outcome ppf o =
          (List.map
             (fun (d, c) -> Printf.sprintf "disk %d -> c=%d" d c)
             o.degraded));
+  if o.residual <> [] then
+    Format.fprintf ppf "@,residual:    %d item(s) left for the next epoch"
+      (List.length o.residual);
   if o.quarantined <> [] then begin
     Format.fprintf ppf "@,quarantined: %d item(s)" (List.length o.quarantined);
     List.iter

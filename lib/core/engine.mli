@@ -75,6 +75,13 @@ type outcome = {
   total_rounds : int;  (** executed + idle *)
   idle_rounds : int;   (** rounds where everything was backing off *)
   rounds_lost : int;   (** attempted transfers that did not complete *)
+  residual : int list;
+      (** still-pending edges when [stop_after] ended the run early
+          (ascending; empty on a run-to-completion) *)
+  remaining_plan : int list array;
+      (** the unexecuted suffix of the plan in force at stop time,
+          filtered to pending edges — feed it back as [warm] to resume
+          without re-solving untouched components *)
 }
 
 exception Plan_rejected of string
@@ -91,14 +98,30 @@ exception Plan_rejected of string
     projected rounds and only dirty ones re-solve — pass [false] to
     re-solve the whole residual at every replan (the oracle baseline
     the benchmarks compare against).
-    @raise Invalid_argument on a negative retry/backoff/budget. *)
+
+    Epoch mode, for {e streaming} callers (the online service):
+    [stop_after] ends the run cleanly once the round clock reaches it —
+    still-pending edges land in [outcome.residual] (not the quarantine)
+    and the plan suffix in [outcome.remaining_plan].  [warm] seeds the
+    initial plan cursor with a previous epoch's [remaining_plan] (edge
+    ids of {e this} instance): components it fully covers keep those
+    rounds verbatim.  [dirty_disks] forces the components of the named
+    disks to re-solve regardless — pass disks whose capacities changed
+    between epochs.  Note {!Certify.certify_execution} flags residual
+    edges as missing unless the caller accounts for them (the service
+    certifier appends them to the quarantine before replay).
+    @raise Invalid_argument on a negative retry/backoff/budget, a
+    non-positive [stop_after], or an out-of-range dirty disk. *)
 val run :
   ?rng:Random.State.t ->
   ?jobs:int ->
   ?max_retries:int ->
   ?backoff_base:int ->
   ?round_budget:int ->
+  ?stop_after:int ->
   ?incremental:bool ->
+  ?warm:int list array ->
+  ?dirty_disks:int list ->
   ?choose:(Instance.t -> Solver.t) ->
   policy:policy ->
   Instance.t ->

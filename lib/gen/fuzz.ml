@@ -475,6 +475,130 @@ let eval_engine_cell ~size ~policy (fam, iseed) =
       in
       (match messages @ accounting with [] -> Ok o | msgs -> Error msgs)
 
+(* ------------------------------------------------------------------ *)
+(* Service soak fuzzing: drive the full streaming service over
+   generated instances and certify the concatenated flight log with
+   [Certify.certify_service].  Like the fault policies above, the
+   driver comes in as a closure ([Service.soak]-based) — the service
+   library sits above this one in the layering DAG and must not be
+   depended on back. *)
+
+type service_stats = {
+  ss_epochs : int;
+  ss_rounds : int;
+  ss_transfers : int;
+  ss_completed : int;
+  ss_abandoned : int;
+  ss_rejected : int;
+}
+
+type service_failure = {
+  sf_family : string;
+  sf_seed : int;
+  sf_size : int;
+  sf_messages : string list;
+  sf_instance : M.Instance.t;
+  sf_shrunk : M.Instance.t;
+}
+
+type service_report = {
+  svc_per_family : (string * service_stats) list;
+  svc_totals : service_stats;
+  svc_instances : int;
+  svc_failures : service_failure list;
+}
+
+let zero_service_stats =
+  {
+    ss_epochs = 0;
+    ss_rounds = 0;
+    ss_transfers = 0;
+    ss_completed = 0;
+    ss_abandoned = 0;
+    ss_rejected = 0;
+  }
+
+let add_service_stats a b =
+  {
+    ss_epochs = a.ss_epochs + b.ss_epochs;
+    ss_rounds = a.ss_rounds + b.ss_rounds;
+    ss_transfers = a.ss_transfers + b.ss_transfers;
+    ss_completed = a.ss_completed + b.ss_completed;
+    ss_abandoned = a.ss_abandoned + b.ss_abandoned;
+    ss_rejected = a.ss_rejected + b.ss_rejected;
+  }
+
+let c_soaks = M.Instr.counter "fuzz.service.soaks"
+let c_soak_violations = M.Instr.counter "fuzz.service.violations"
+
+let run_service ?(size = 10) ?(jobs = 1) ~drive ~families ~count ~seed () =
+  let pool = if jobs > 1 then Some (Exec.create ~jobs) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Exec.shutdown pool)
+  @@ fun () ->
+  let specs =
+    List.concat_map
+      (fun fam ->
+        List.init count (fun index -> (fam, derived_seed ~base:seed ~index)))
+      families
+  in
+  (* parallel stage: each cell generates its instance and runs the
+     whole service loop (the service's own [jobs] is the closure's
+     business — parallelism here lives at cell granularity); the merge
+     and the shrinker stay sequential in submission order, so the
+     report is byte-identical at every [jobs] *)
+  let outcomes =
+    Exec.map ?pool
+      (fun (fam, iseed) ->
+        let inst = Families.instance fam ~seed:iseed ~size in
+        (inst, drive ~inst ~seed:iseed))
+      specs
+  in
+  let failures = ref [] in
+  let totals = ref zero_service_stats in
+  let instances = ref 0 in
+  let svc_per_family =
+    List.map
+      (fun fam ->
+        let t = ref zero_service_stats in
+        List.iter2
+          (fun (fam', iseed) (inst, outcome) ->
+            if fam'.Families.name = fam.Families.name then begin
+              M.Instr.bump c_soaks;
+              incr instances;
+              match outcome with
+              | Ok s ->
+                  t := add_service_stats !t s;
+                  totals := add_service_stats !totals s
+              | Error msgs ->
+                  M.Instr.bump c_soak_violations;
+                  let shrunk =
+                    shrink
+                      ~fails:(fun i ->
+                        Result.is_error (drive ~inst:i ~seed:iseed))
+                      inst
+                  in
+                  failures :=
+                    {
+                      sf_family = fam.Families.name;
+                      sf_seed = iseed;
+                      sf_size = size;
+                      sf_messages = msgs;
+                      sf_instance = inst;
+                      sf_shrunk = shrunk;
+                    }
+                    :: !failures
+            end)
+          specs outcomes;
+        (fam.Families.name, !t))
+      families
+  in
+  {
+    svc_per_family;
+    svc_totals = !totals;
+    svc_instances = !instances;
+    svc_failures = List.rev !failures;
+  }
+
 let run_engine ?(size = 12) ?(jobs = 1) ~policy ~families ~count ~seed () =
   let pool = if jobs > 1 then Some (Exec.create ~jobs) else None in
   Fun.protect ~finally:(fun () -> Option.iter Exec.shutdown pool)

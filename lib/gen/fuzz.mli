@@ -141,3 +141,65 @@ val run_engine :
   seed:int ->
   unit ->
   engine_report
+
+(** {1 Service soak fuzzing}
+
+    One level up again from {!run_engine}: drive the whole streaming
+    {e service} — admission, epoching, warm re-planning, faulted
+    execution, patch repairs — over generated instances and certify
+    the concatenated flight log with
+    {!Migration.Certify.certify_service}.  The driver comes in as a
+    closure (build it from [Service.soak]) because the service library
+    sits above this one in the layering DAG. *)
+
+(** Accumulated run statistics, as reported back by the driver. *)
+type service_stats = {
+  ss_epochs : int;
+  ss_rounds : int;      (** global rounds, idle included *)
+  ss_transfers : int;
+  ss_completed : int;   (** requests completed *)
+  ss_abandoned : int;
+  ss_rejected : int;
+}
+
+type service_failure = {
+  sf_family : string;
+  sf_seed : int;   (** regenerate with [Families.instance ~seed ~size] *)
+  sf_size : int;
+  sf_messages : string list;
+  sf_instance : Migration.Instance.t;
+  sf_shrunk : Migration.Instance.t;
+      (** delta-debugged against the same driver *)
+}
+
+type service_report = {
+  svc_per_family : (string * service_stats) list;  (** input order *)
+  svc_totals : service_stats;
+  svc_instances : int;
+  svc_failures : service_failure list;
+}
+
+(** [run_service ~drive ~families ~count ~seed ()] soaks the service
+    on [count] instances per family.  [drive ~inst ~seed] runs one
+    full service loop and returns its stats, or the violation messages
+    on a certification/accounting failure; it must be deterministic in
+    [(inst, seed)].  A failing instance is shrunk with
+    {!Migration.Shrink} against [Result.is_error (drive ...)], so the
+    reproducer in [sf_shrunk] is locally minimal.
+
+    [jobs] parallelizes at cell granularity on an {!Exec} pool; the
+    merge and the shrinker stay sequential in (family, index)
+    submission order, so the report is byte-identical for every [jobs]
+    value. *)
+val run_service :
+  ?size:int ->
+  ?jobs:int ->
+  drive:
+    (inst:Migration.Instance.t ->
+    seed:int ->
+    (service_stats, string list) result) ->
+  families:Families.family list ->
+  count:int ->
+  seed:int ->
+  unit ->
+  service_report

@@ -89,7 +89,11 @@ let run cluster ~requests ~plan =
         arrived;
       incoming := later;
       (* outstanding work changed: replan from the current state *)
-      active := None
+      active := None;
+      (* settle immediately: a request whose moves are already in
+         effect (or all superseded at absorption) completes at its
+         arrival round with latency 0, not after a phantom round *)
+      update_tracking ()
     end;
     (match !active with
     | Some _ -> ()
@@ -136,7 +140,17 @@ let run cluster ~requests ~plan =
     |> List.map (fun t ->
            match t.completed_at with
            | Some c -> max 0 (c - t.arrived)
-           | None -> assert false)
+           | None ->
+               (* the loop only exits once every request is absorbed
+                  and the placement matches the desired map, so an
+                  unsettled request here is a tracking bug — name it
+                  instead of dying on an anonymous assert *)
+               failwith
+                 (Printf.sprintf
+                    "Online.run: request %d (arrived round %d) never \
+                     settled: %d move(s) still outstanding"
+                    t.idx t.arrived
+                    (List.length t.outstanding)))
     |> Array.of_list
   in
   { rounds = !round; replans = !replans; items_moved = !items_moved; latencies }

@@ -27,7 +27,12 @@ type report = {
 }
 
 (** [run cluster ~requests ~plan] mutates [cluster] to the final
-    desired placement.  Requests must be sorted by [at_round].
+    desired placement.  Requests must be sorted by [at_round]; equal
+    rounds are legal and absorb together into a single replan.  A
+    request arriving beyond the current work horizon extends the run
+    (idle time fast-forwards to its arrival).  A request whose moves
+    are already in effect — or superseded — at absorption settles at
+    its arrival round with latency [0].
     @raise Invalid_argument on unsorted requests or bad item/disk ids. *)
 val run :
   Cluster.t ->

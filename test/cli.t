@@ -296,6 +296,90 @@ engine and certifies every execution independently:
 
 
 
+The streaming service: `serve` batches a trigger trace into epochs,
+plans each outstanding diff warm-incrementally, executes it under the
+fault policy, and certifies the concatenated flight log independently.
+A two-epoch stream — a retarget batch, then a demand shift that
+arrives 20 rounds later:
+
+  $ cat > stream.trace <<EOF
+  > # two-epoch stream: a retarget batch, then a demand shift
+  > init disks=4 items=24 caps=2,2,2,2 zipf=1.1 seed=7
+  > at 0 retarget 0:3 1:2 2:1
+  > at 20 shift 0.25
+  > EOF
+  $ migrate serve --trace stream.trace --epoch-rounds 16 --seed 7
+  epochs:      2 (22 rounds total)
+  transfers:   5 (0 quarantined, 0 repairs)
+  replans:     0 (retries 0)
+  requests:    2 completed, 0 abandoned, 0 rejected
+  latency:     p50=1 p99=2 rounds
+  request 0: completed@1 (absorbed@0)
+  request 1: completed@22 (absorbed@20)
+  service certified: 2 epochs, 22 rounds, 5 transfers
+
+The report is byte-identical at any --jobs:
+
+  $ migrate serve --trace stream.trace --epoch-rounds 16 --seed 7 > serve_j1.out
+  $ migrate serve --trace stream.trace --epoch-rounds 16 --seed 7 --jobs 4 | cmp - serve_j1.out && echo same
+  same
+
+--inject-tamper forges the flight log after the run; the independent
+certifier must reject it and name the exact violation:
+
+  $ migrate serve --trace stream.trace --epoch-rounds 16 --seed 7 --inject-tamper 2>&1; echo "exit: $?"
+  epochs:      2 (22 rounds total)
+  transfers:   5 (0 quarantined, 0 repairs)
+  replans:     0 (retries 0)
+  requests:    2 completed, 0 abandoned, 0 rejected
+  latency:     p50=1 p99=2 rounds
+  request 0: completed@1 (absorbed@0)
+  request 1: completed@22 (absorbed@20)
+  SERVICE REJECTED: 2 epochs, 22 rounds, 6 transfers
+    - epoch 0: item 1 completed twice (rounds 0 and 0)
+  exit: 1
+
+Transfer faults are retried under the engine's per-epoch policy; the
+flight log still certifies:
+
+  $ migrate serve --trace stream.trace --epoch-rounds 16 --fault-rate 0.3 --seed 9
+  epochs:      2 (20 rounds total)
+  transfers:   2 (0 quarantined, 0 repairs)
+  replans:     1 (retries 1)
+  requests:    2 completed, 0 abandoned, 0 rejected
+  latency:     p50=0 p99=2 rounds
+  request 0: completed@2 (absorbed@0)
+  request 1: completed@20 (absorbed@20)
+  service certified: 2 epochs, 20 rounds, 2 transfers
+
+A disk that dies mid-stream abandons the requests whose outstanding
+moves target it and re-replicates its resident items onto the ring
+successor:
+
+  $ cat > failing.trace <<EOF
+  > init disks=4 items=32 caps=1,1,1,1 zipf=1.1 seed=3
+  > at 0 retarget 0:3 1:3 2:3 3:3 4:3 5:3
+  > at 2 fail 3
+  > EOF
+  $ migrate serve --trace failing.trace --epoch-rounds 2 --seed 4
+  epochs:      2 (2 rounds total)
+  transfers:   2 (0 quarantined, 13 repairs)
+  replans:     0 (retries 0)
+  requests:    1 completed, 1 abandoned, 0 rejected
+  latency:     p50=0 p99=0 rounds
+  request 0: abandoned (absorbed@0)
+  request 1: completed@2 (absorbed@2)
+  service certified: 2 epochs, 2 rounds, 2 transfers
+
+Bad arguments and unreadable traces exit 2:
+
+  $ migrate serve --trace stream.trace --epoch-rounds 0 2>&1; echo "exit: $?"
+  error: --epoch-rounds must be >= 1
+  exit: 2
+  $ migrate serve --trace missing.trace 2>&1; echo "exit: $?"
+  error: missing.trace: No such file or directory
+  exit: 2
+
 Lab sweeps produce deterministic CSV:
 
   $ ../bin/migrate_lab.exe --out . speedup >/dev/null

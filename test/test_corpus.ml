@@ -103,6 +103,16 @@ let test_regression file () =
           end)
     (M.Solver.names ())
 
+(* service-soak reproducers land in the same corpus (written by
+   `migrate fuzz --service`): replay each regression instance through
+   a fault-free soak — the concatenated flight log must certify *)
+let test_regression_service file () =
+  let inst = load_file (Filename.concat regressions_dir file) in
+  match Service.soak ~epoch_rounds:4 ~inst ~seed:1 () with
+  | Ok _ -> ()
+  | Error msgs ->
+      Alcotest.failf "%s: service soak: %s" file (String.concat "; " msgs)
+
 let test_corpus_roundtrips () =
   List.iter
     (fun (file, _, _, _) ->
@@ -128,7 +138,12 @@ let () =
             test_corpus_roundtrips;
         ] );
       ( "regressions",
-        List.map
-          (fun file -> Alcotest.test_case file `Quick (test_regression file))
+        List.concat_map
+          (fun file ->
+            [
+              Alcotest.test_case file `Quick (test_regression file);
+              Alcotest.test_case (file ^ " (service soak)") `Quick
+                (test_regression_service file);
+            ])
           regression_files );
     ]

@@ -289,6 +289,85 @@ let test_dropper_caught () =
     (List.exists (fun m -> contains m "never scheduled") f.Gen.Fuzz.messages)
 
 (* ------------------------------------------------------------------ *)
+(* service soak: the whole streaming daemon as the fuzz cell *)
+
+let soak_drive ~fault_rate ~inst ~seed =
+  match Service.soak ~epoch_rounds:4 ~fault_rate ~inst ~seed () with
+  | Ok (s : Service.soak_stats) ->
+      Ok
+        {
+          Gen.Fuzz.ss_epochs = s.Service.soak_epochs;
+          ss_rounds = s.Service.soak_rounds;
+          ss_transfers = s.Service.soak_transfers;
+          ss_completed = s.Service.soak_completed;
+          ss_abandoned = s.Service.soak_abandoned;
+          ss_rejected = s.Service.soak_rejected;
+        }
+  | Error msgs -> Error msgs
+
+(* every generator family through the service loop — the soak driver
+   mixes demand-shift / disk-failure / disk-addition triggers into the
+   stream — fault-free and under 10% transfer faults: every
+   concatenated flight log must certify *)
+let test_service_soak_clean () =
+  List.iter
+    (fun fault_rate ->
+      let report =
+        Gen.Fuzz.run_service ~size:8
+          ~drive:(fun ~inst ~seed -> soak_drive ~fault_rate ~inst ~seed)
+          ~families:Gen.all ~count:2 ~seed:77 ()
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "fault %.2f: every instance soaked" fault_rate)
+        (2 * List.length Gen.all)
+        report.Gen.Fuzz.svc_instances;
+      Alcotest.(check bool)
+        (Printf.sprintf "fault %.2f: transfers happened" fault_rate)
+        true
+        (report.Gen.Fuzz.svc_totals.Gen.Fuzz.ss_transfers > 0);
+      match report.Gen.Fuzz.svc_failures with
+      | [] -> ()
+      | f :: _ ->
+          Alcotest.failf "fault %.2f: %s seed=%d size=%d: %s" fault_rate
+            f.Gen.Fuzz.sf_family f.Gen.Fuzz.sf_seed f.Gen.Fuzz.sf_size
+            (String.concat "; " f.Gen.Fuzz.sf_messages))
+    [ 0.0; 0.1 ]
+
+(* shrink plumbing: an artificially failing driver must come back as a
+   failure whose reproducer was delta-debugged to the boundary (the
+   driver rejects anything over 3 items, so the minimum is 4) *)
+let test_service_soak_shrinks () =
+  let zero =
+    {
+      Gen.Fuzz.ss_epochs = 0;
+      ss_rounds = 0;
+      ss_transfers = 0;
+      ss_completed = 0;
+      ss_abandoned = 0;
+      ss_rejected = 0;
+    }
+  in
+  let drive ~inst ~seed:_ =
+    if M.Instance.n_items inst > 3 then Error [ "too big" ] else Ok zero
+  in
+  let fam = Option.get (Gen.family_of_string "uniform") in
+  let report =
+    Gen.Fuzz.run_service ~size:10 ~drive ~families:[ fam ] ~count:1 ~seed:5 ()
+  in
+  let f =
+    match report.Gen.Fuzz.svc_failures with
+    | [ f ] -> f
+    | fs -> Alcotest.failf "expected 1 failure, got %d" (List.length fs)
+  in
+  Alcotest.(check bool) "shrunk no bigger than original" true
+    (M.Instance.n_items f.Gen.Fuzz.sf_shrunk
+    <= M.Instance.n_items f.Gen.Fuzz.sf_instance);
+  Alcotest.(check int) "shrunk to the boundary" 4
+    (M.Instance.n_items f.Gen.Fuzz.sf_shrunk);
+  Alcotest.(check bool) "shrunk reproducer still fails" true
+    (Result.is_error (drive ~inst:f.Gen.Fuzz.sf_shrunk ~seed:0))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "fuzz"
@@ -327,5 +406,12 @@ let () =
             test_mutation_caught;
           Alcotest.test_case "mutation: lost items caught" `Quick
             test_dropper_caught;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "all families soak clean, 0% and 10% faults"
+            `Slow test_service_soak_clean;
+          Alcotest.test_case "failing driver shrunk to the boundary" `Quick
+            test_service_soak_shrinks;
         ] );
     ]

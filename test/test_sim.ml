@@ -611,6 +611,67 @@ let test_online_guards () =
              ]
            ~plan:(M.plan M.Greedy)))
 
+let test_online_beyond_horizon () =
+  (* a request arriving after all earlier work has drained must extend
+     the run: idle time fast-forwards to its arrival and the move still
+     executes *)
+  let before = S.Placement.of_array [| 0; 1 |] in
+  let c = mk_cluster before in
+  let report =
+    S.Online.run c
+      ~requests:
+        [
+          { S.Online.at_round = 0; moves = [ (0, 1) ] };
+          { S.Online.at_round = 50; moves = [ (1, 2) ] };
+        ]
+      ~plan:(M.plan M.Greedy)
+  in
+  Alcotest.(check int) "run extended past the horizon" 51
+    report.S.Online.rounds;
+  Alcotest.(check int) "late move executed" 2
+    (S.Placement.disk_of (S.Cluster.placement c) 1);
+  Alcotest.(check int) "two replans (work drained between)" 2
+    report.S.Online.replans
+
+let test_online_equal_rounds_merge () =
+  (* equal [at_round] is legal (sortedness is non-strict) and both
+     requests absorb into one epoch: a single replan serves them *)
+  let before = S.Placement.of_array [| 0; 0 |] in
+  let c = mk_cluster before in
+  let report =
+    S.Online.run c
+      ~requests:
+        [
+          { S.Online.at_round = 2; moves = [ (0, 1) ] };
+          { S.Online.at_round = 2; moves = [ (1, 2) ] };
+        ]
+      ~plan:(M.plan M.Greedy)
+  in
+  Alcotest.(check int) "one merged replan" 1 report.S.Online.replans;
+  Alcotest.(check int) "both moves in effect" 1
+    (S.Placement.disk_of (S.Cluster.placement c) 0);
+  Alcotest.(check int) "both moves in effect (2)" 2
+    (S.Placement.disk_of (S.Cluster.placement c) 1)
+
+let test_online_noop_latency_zero () =
+  (* a request whose moves are already in effect settles at absorption
+     with latency 0 — no phantom round *)
+  let before = S.Placement.of_array [| 2; 0 |] in
+  let c = mk_cluster before in
+  let report =
+    S.Online.run c
+      ~requests:
+        [
+          { S.Online.at_round = 0; moves = [ (1, 1) ] };
+          { S.Online.at_round = 4; moves = [ (0, 2) ] };
+        ]
+      ~plan:(M.plan M.Greedy)
+  in
+  Alcotest.(check int) "no-op settles with latency 0" 0
+    report.S.Online.latencies.(1);
+  Alcotest.(check bool) "real work still costs rounds" true
+    (report.S.Online.latencies.(0) >= 1)
+
 let online_converges =
   qtest "online: random request streams converge to the final target"
     ~count:25
@@ -881,6 +942,12 @@ let () =
           Alcotest.test_case "single request" `Quick test_online_single_request;
           Alcotest.test_case "supersession" `Quick test_online_supersession;
           Alcotest.test_case "guards" `Quick test_online_guards;
+          Alcotest.test_case "beyond-horizon arrival extends run" `Quick
+            test_online_beyond_horizon;
+          Alcotest.test_case "equal rounds merge into one epoch" `Quick
+            test_online_equal_rounds_merge;
+          Alcotest.test_case "no-op request has latency 0" `Quick
+            test_online_noop_latency_zero;
           online_converges;
         ] );
     ]

@@ -25,6 +25,7 @@ let interface_libs =
     ("Storsim", "storsim");
     ("Workloads", "workloads");
     ("Distproto", "distproto");
+    ("Service", "service");
   ]
 
 (* lib name -> libraries it may depend on.  This is the architecture
@@ -53,6 +54,14 @@ let allowed =
       [
         "mgraph"; "netflow"; "coloring"; "probes"; "exec"; "migration";
         "storsim";
+      ] );
+    (* the streaming daemon sits at the top of the library DAG: it may
+       drive the engine, simulation faults, and workload re-layouts,
+       but no library depends back on it — only bin/ and the tests *)
+    ( "service",
+      [
+        "mgraph"; "netflow"; "coloring"; "probes"; "exec"; "migration";
+        "storsim"; "workloads";
       ] );
   ]
 
