@@ -313,6 +313,38 @@ let () =
           tc floor tb;
         failed := true
       end);
+  (* E13 distributed: the flight-log identity is covered by the
+     identical_schedules sweep above; here we require the section not
+     to vanish (the identity assertion silently disappearing would be
+     the regression) and report the protocol overhead at each worker
+     count *)
+  let dist_section text = section text ~key:"distributed" ~open_:'{' ~close:'}' in
+  (match (dist_section base, dist_section cur) with
+  | None, None -> ()
+  | Some _, None ->
+      Printf.printf
+        "\ndistributed: section missing from current — REGRESSION\n";
+      failed := true
+  | _, Some body ->
+      let rec overheads from acc =
+        match scrape_float body ~key:"workers" ~from with
+        | None -> List.rev acc
+        | Some w -> (
+            (* advance past this record before the next scan *)
+            let from' =
+              match find_from body "}" from with
+              | Some i -> i + 1
+              | None -> String.length body
+            in
+            match scrape_float body ~key:"overhead" ~from with
+            | None -> overheads from' acc
+            | Some o -> overheads from' ((int_of_float w, o) :: acc))
+      in
+      Printf.printf "\ndistributed overhead vs in-process engine:%s\n"
+        (String.concat ""
+           (List.map
+              (fun (w, o) -> Printf.sprintf " N=%d %.1fx" w o)
+              (overheads 0 []))));
   if !failed then begin
     Printf.printf "\nGATE FAILED\n";
     exit 1

@@ -973,64 +973,6 @@ let e22_orbit_engine () =
     os.M.Orbits.largest_orbit hs.M.Hetero_coloring.palette
 
 (* ------------------------------------------------------------------ *)
-(* E23: distributed orchestration costs                                *)
-
-let e23_protocol () =
-  header "E23 [extension]  distributed orchestration of the schedule";
-  Printf.printf
-    "coordinator/agents protocol over a lossy fabric: what executing\n\
-     the paper's rounds actually costs in messages and (virtual) time\n\n";
-  Printf.printf "%8s %9s | %8s %9s %9s %8s\n" "loss" "latency" "wall"
-    "messages" "retrans" "dropped";
-  let job =
-    let rng = rng_of 42 in
-    let n = 16 and m_items = 300 in
-    let caps = Array.init n (fun i -> 1 + (i mod 3)) in
-    let g = Multigraph.create ~n () in
-    let sources = Array.make m_items 0 and targets = Array.make m_items 0 in
-    for e = 0 to m_items - 1 do
-      let u = Random.State.int rng n in
-      let rec pick () =
-        let v = Random.State.int rng n in
-        if v = u then pick () else v
-      in
-      let v = pick () in
-      ignore (Multigraph.add_edge g u v);
-      sources.(e) <- u;
-      targets.(e) <- v
-    done;
-    {
-      Storsim.Cluster.instance = M.Instance.create g ~caps;
-      items = Array.init m_items Fun.id;
-      sources;
-      targets;
-    }
-  in
-  let sched = M.plan ~rng:(rng_of 43) M.Hetero job.Storsim.Cluster.instance in
-  List.iter
-    (fun (loss, latency) ->
-      let net = Distproto.Net.create ~loss ~latency ~seed:7 () in
-      let rep = Distproto.Runner.run net job sched in
-      Printf.printf "%8.2f %9.2f | %8.1f %9d %9d %8d\n" loss latency
-        rep.Distproto.Runner.wall_time rep.Distproto.Runner.messages_offered
-        rep.Distproto.Runner.retransmissions
-        rep.Distproto.Runner.messages_dropped)
-    [ (0.0, 0.1); (0.05, 0.1); (0.15, 0.1); (0.30, 0.1); (0.0, 0.5); (0.15, 0.5) ];
-  (* coordinator failover mid-migration *)
-  Printf.printf "\ncoordinator crash at t=20 (recovery delay 5):\n";
-  let baseline = Distproto.Runner.run (Distproto.Net.create ~seed:8 ()) job sched in
-  let crashed =
-    Distproto.Runner.run ~crash:(20.0, 5.0)
-      (Distproto.Net.create ~seed:8 ())
-      job sched
-  in
-  Printf.printf
-    "healthy: wall %.1f, %d msgs | with failover: wall %.1f, %d msgs, %d failover\n"
-    baseline.Distproto.Runner.wall_time baseline.Distproto.Runner.messages_offered
-    crashed.Distproto.Runner.wall_time crashed.Distproto.Runner.messages_offered
-    crashed.Distproto.Runner.failovers
-
-(* ------------------------------------------------------------------ *)
 (* E24: maintenance windows — recovered demand vs round budget         *)
 
 let e24_deadline () =
@@ -1393,6 +1335,98 @@ let e10_engine () =
   in
   engine_detail := Some rows
 
+(* ------------------------------------------------------------------ *)
+(* E13 (CLI key "distributed"): coordinator/worker execution vs the    *)
+(* in-process engine                                                   *)
+
+(* stashed by the distributed experiment for the --json writer:
+   (transfers, rounds, engine wall, [(workers, wall)], identical) *)
+let dist_detail : (int * int * float * (int * float) list * bool) option ref =
+  ref None
+
+let e13_distributed () =
+  header "E13 [distributed]  coordinator/worker execution vs in-process";
+  Printf.printf
+    "the certified plan driven round by round across N real worker\n\
+     processes over socketpairs, every barrier a durable journal\n\
+     commit — what the protocol and fsync discipline cost over the\n\
+     in-process engine, with the flight log required byte-identical\n\n";
+  let components = 4 and n = 24 and m = 600 in
+  let inst = parallel_instance ~components ~n ~m in
+  let seed = 1309 in
+  Printf.printf "%d components x (n=%d, m=%d) = %d items\n\n" components n m
+    (M.Instance.n_items inst);
+  (* the distributed runs fork, and Unix.fork is forbidden once any
+     domain has ever been spawned in this process — so they run before
+     the in-process reference, and the reference plans with jobs:1
+     (the schedule is byte-identical at any jobs) *)
+  let state_dir_of workers =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bench_dist.%d.w%d" (Unix.getpid ()) workers)
+  in
+  let dist_runs =
+    List.map
+      (fun workers ->
+        let state_dir = state_dir_of workers in
+        let r, t =
+          wall_clock (fun () ->
+              Distproto.Runner.run ~workers ~seed ~state_dir inst)
+        in
+        let log =
+          match r with
+          | Ok (Distproto.Runner.Completed o) ->
+              Some
+                (M.Certify.execution_to_string o.Distproto.Runner.execution)
+          | Ok (Distproto.Runner.Interrupted _) | Error _ -> None
+        in
+        (workers, t, log))
+      [ 1; 2; 4 ]
+  in
+  let reference, engine_t =
+    wall_clock (fun () ->
+        M.Engine.run
+          ~rng:(Distproto.Runner.plan_rng seed)
+          ~jobs:1 ~policy:M.Engine.no_faults inst)
+  in
+  let reference_log =
+    M.Certify.execution_to_string reference.M.Engine.execution
+  in
+  Printf.printf "in-process engine: %d rounds in %.3f s\n\n"
+    reference.M.Engine.total_rounds engine_t;
+  Printf.printf "%8s %10s %10s  %s\n" "workers" "wall (s)" "overhead"
+    "flight log";
+  let identical = ref true in
+  let runs =
+    List.map
+      (fun (workers, t, log) ->
+        let same = log = Some reference_log in
+        if not same then identical := false;
+        Printf.printf "%8d %10.3f %9.1fx  %s\n" workers t
+          (if engine_t > 0.0 then t /. engine_t else 1.0)
+          (if same then "identical" else "DIVERGED");
+        (workers, t))
+      dist_runs
+  in
+  (* best-effort scrub of the journals — a leftover state dir must
+     never make the next bench run resume instead of execute *)
+  (try
+     let rm_rf dir =
+       if Sys.file_exists dir then begin
+         Array.iter
+           (fun f -> Sys.remove (Filename.concat dir f))
+           (Sys.readdir dir);
+         Sys.rmdir dir
+       end
+     in
+     List.iter (fun w -> rm_rf (state_dir_of w)) [ 1; 2; 4 ]
+   with Sys_error _ -> ());
+  if not !identical then
+    failwith "e13: distributed flight log diverged from in-process engine";
+  dist_detail :=
+    Some
+      ( M.Instance.n_items inst, reference.M.Engine.total_rounds, engine_t,
+        runs, !identical )
+
 let experiments =
   [
     ("fig1", e1_fig1);
@@ -1418,13 +1452,13 @@ let experiments =
     ("network", e20_network);
     ("restripe", e21_restripe);
     ("orbits", e22_orbit_engine);
-    ("protocol", e23_protocol);
     ("deadline", e24_deadline);
     ("metrics", e25_metrics);
     ("e9", e9_parallel);
     ("e11", e11_huge);
     ("engine", e10_engine);
     ("serve", e12_serve);
+    ("distributed", e13_distributed);
   ]
 
 (* --json: the perf-regression baseline.  Handwritten like
@@ -1432,7 +1466,7 @@ let experiments =
 let write_json ~path timings =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": \"pr7\",\n";
+  Buffer.add_string buf "  \"bench\": \"pr8\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"recommended_domains\": %d,\n" (Exec.default_jobs ()));
   Buffer.add_string buf "  \"experiments\": [\n";
@@ -1532,6 +1566,32 @@ let write_json ~path timings =
                (if i = List.length rows - 1 then "" else ",")))
         rows;
       Buffer.add_string buf "    ]\n  }");
+  (match !dist_detail with
+  | None -> ()
+  | Some (transfers, rounds, engine_t, runs, identical) ->
+      Buffer.add_string buf ",\n  \"distributed\": {\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    \"transfers\": %d,\n    \"rounds\": %d,\n    \
+            \"engine_wall_s\": %.6f,\n"
+           transfers rounds engine_t);
+      Buffer.add_string buf "    \"runs\": [\n";
+      List.iteri
+        (fun i (workers, t) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      { \"workers\": %d, \"wall_s\": %.6f, \"overhead\": \
+                %.3f }%s\n"
+               workers t
+               (if engine_t > 0.0 then t /. engine_t else 1.0)
+               (if i = List.length runs - 1 then "" else ",")))
+        runs;
+      Buffer.add_string buf "    ],\n";
+      (* the gate's all-occurrences identical_schedules sweep picks
+         this up: here it asserts the distributed flight log
+         byte-matched the in-process engine at every worker count *)
+      Buffer.add_string buf
+        (Printf.sprintf "    \"identical_schedules\": %b\n  }" identical));
   Buffer.add_string buf "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -1556,6 +1616,14 @@ let () =
   let names = List.filter (fun a -> a <> "--json") args in
   let requested =
     match names with [] -> List.map fst experiments | l -> l
+  in
+  (* Unix.fork is forbidden in this runtime once any domain has ever
+     been spawned, and most experiments open Exec pools — the forking
+     experiment must go first regardless of the order asked for *)
+  let requested =
+    if List.mem "distributed" requested then
+      "distributed" :: List.filter (fun n -> n <> "distributed") requested
+    else requested
   in
   let timings =
     List.map

@@ -364,8 +364,86 @@ let simulate_engine sc ~fault_rate ~crashes ~slows ~seed ~jobs ~trace
       report_metrics ~metrics ~metrics_json;
       if not (Migration.Certify.exec_ok v) then exit 1
 
+(* distributed mode: fork a coordinator and N worker processes, drive
+   the certified plan round by round over the protocol with a durable
+   journal in --state-dir, then certify the reconstructed flight log
+   AND require it byte-identical to the in-process engine's *)
+let parse_kill_spec s =
+  let open Distproto.Runner in
+  match String.split_on_char ':' s with
+  | [ role; point; round ] -> (
+      match int_of_string_opt round with
+      | None -> None
+      | Some kill_round -> (
+          let mk kill_role kill_point =
+            Some { kill_role; kill_point; kill_round }
+          in
+          match (role, point) with
+          | "coord", "pre-commit" -> mk `Coordinator Coord_pre_commit
+          | "coord", "post-commit" -> mk `Coordinator Coord_post_commit
+          | w, _ when String.length w > 6 && String.sub w 0 6 = "worker" -> (
+              match
+                int_of_string_opt (String.sub w 6 (String.length w - 6))
+              with
+              | Some i when i >= 0 -> (
+                  match point with
+                  | "pre-round" -> mk (`Worker i) Worker_pre_round
+                  | "mid-round" -> mk (`Worker i) Worker_mid_round
+                  | "post-report" -> mk (`Worker i) Worker_post_report
+                  | _ -> None)
+              | Some _ | None -> None)
+          | _ -> None))
+  | _ -> None
+
+let simulate_distributed sc ~workers ~seed ~state_dir ~kill ~metrics
+    ~metrics_json =
+  let job =
+    Storsim.Cluster.plan_reconfiguration sc.Workloads.Scenarios.cluster
+      ~target:sc.Workloads.Scenarios.target
+  in
+  let inst = job.Storsim.Cluster.instance in
+  Migration.Instr.reset ();
+  Printf.printf "scenario:  %s\n" sc.Workloads.Scenarios.name;
+  Printf.printf "mode:      distributed, %d workers\n" workers;
+  match Distproto.Runner.run ?kill ~workers ~seed ~state_dir inst with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  | Ok (Distproto.Runner.Interrupted { phase; signal }) ->
+      Printf.printf "interrupted: coordinator killed (%s)\n"
+        (if signal = Sys.sigkill then "SIGKILL"
+         else Printf.sprintf "signal %d" signal);
+      Printf.printf "journal:   %s\n" (Distproto.Journal.phase_to_string phase);
+      Printf.printf "resume:    re-run the same command to continue\n";
+      exit 137
+  | Ok (Distproto.Runner.Completed o) ->
+      Printf.printf "rounds:    %d committed, %d skipped (already durable)%s\n"
+        o.Distproto.Runner.rounds o.Distproto.Runner.skipped
+        (if o.Distproto.Runner.resumed then ", resumed from journal" else "");
+      Printf.printf "workers:   %d, respawns: %d\n" o.Distproto.Runner.workers
+        o.Distproto.Runner.respawns;
+      let v =
+        Migration.Certify.certify_execution o.Distproto.Runner.execution
+      in
+      Format.printf "%a@." Migration.Certify.pp_exec v;
+      let reference =
+        Migration.Engine.run
+          ~rng:(Distproto.Runner.plan_rng seed)
+          ~policy:Migration.Engine.no_faults inst
+      in
+      let identical =
+        Migration.Certify.execution_to_string o.Distproto.Runner.execution
+        = Migration.Certify.execution_to_string
+            reference.Migration.Engine.execution
+      in
+      Printf.printf "flight log identical to in-process engine: %s\n"
+        (if identical then "yes" else "NO");
+      report_metrics ~metrics ~metrics_json;
+      if (not (Migration.Certify.exec_ok v)) || not identical then exit 1
+
 let simulate scenario n_disks n_items alg seed jobs verbose trace fault_rate
-    crashes slows inject_tamper metrics metrics_json =
+    crashes slows inject_tamper distributed state_dir kill_at metrics
+    metrics_json =
   setup_logs verbose;
   if fault_rate < 0.0 || fault_rate >= 1.0 then begin
     Printf.eprintf "error: --fault-rate must be in [0, 1)\n";
@@ -375,6 +453,22 @@ let simulate scenario n_disks n_items alg seed jobs verbose trace fault_rate
     Printf.eprintf "error: --crash/--slow counts must be >= 0\n";
     exit 2
   end;
+  if distributed = None && (state_dir <> None || kill_at <> None) then begin
+    Printf.eprintf
+      "error: --state-dir/--kill-at only make sense with --distributed\n";
+    exit 2
+  end;
+  (match distributed with
+  | Some n when n < 1 ->
+      Printf.eprintf "error: --distributed needs at least 1 worker\n";
+      exit 2
+  | Some _
+    when fault_rate > 0.0 || crashes > 0 || slows > 0 || inject_tamper ->
+      Printf.eprintf
+        "error: --distributed executes fault-free; fault options are not \
+         supported\n";
+      exit 2
+  | Some _ | None -> ());
   let rng = rng_of_seed seed in
   let sc =
     match scenario with
@@ -391,6 +485,32 @@ let simulate scenario n_disks n_items alg seed jobs verbose trace fault_rate
         Printf.eprintf "unknown scenario %S (rebalance|add|remove|failure)\n" other;
         exit 2
   in
+  match distributed with
+  | Some workers ->
+      let state_dir =
+        match state_dir with
+        | Some d -> d
+        | None ->
+            Printf.eprintf "error: --distributed requires --state-dir\n";
+            exit 2
+      in
+      let kill =
+        match kill_at with
+        | None -> None
+        | Some spec -> (
+            match parse_kill_spec spec with
+            | Some k -> Some k
+            | None ->
+                Printf.eprintf
+                  "error: bad --kill-at %S (want \
+                   coord:pre-commit|post-commit:K or \
+                   worker<i>:pre-round|mid-round|post-report:K)\n"
+                  spec;
+                exit 2)
+      in
+      simulate_distributed sc ~workers ~seed ~state_dir ~kill ~metrics
+        ~metrics_json
+  | None ->
   if fault_rate > 0.0 || crashes > 0 || slows > 0 || inject_tamper then
     simulate_engine sc ~fault_rate ~crashes ~slows ~seed ~jobs ~trace
       ~inject_tamper ~metrics ~metrics_json
@@ -465,16 +585,50 @@ let simulate_cmd =
     in
     Arg.(value & flag & info [ "inject-tamper" ] ~doc)
   in
+  let distributed =
+    let doc =
+      "Execute the certified plan across $(docv) worker processes under a \
+       durable coordinator: rounds are sharded by disk range, committed to \
+       an fsync'd journal in $(b,--state-dir), and the run survives \
+       $(b,kill -9) of any worker (respawned in-flight) or of the \
+       coordinator (re-run the command to resume).  The reconstructed \
+       flight log must certify and byte-match the in-process engine's."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "distributed" ] ~docv:"N" ~doc)
+  in
+  let state_dir =
+    let doc =
+      "Directory holding the distributed run's journal and metrics \
+       (created if missing; required with $(b,--distributed))."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+  in
+  let kill_at =
+    let doc =
+      "Crash-injection script (testing hook): SIGKILL the named process at \
+       a phase transition of round K.  Formats: \
+       $(b,coord:pre-commit:K), $(b,coord:post-commit:K), \
+       $(b,worker<i>:pre-round:K), $(b,worker<i>:mid-round:K), \
+       $(b,worker<i>:post-report:K).  One-shot: respawns and resumes do \
+       not re-arm it."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "kill-at" ] ~docv:"SPEC" ~doc)
+  in
   let doc =
-    "Run a cluster scenario end-to-end through the simulator, or — with \
-     $(b,--fault-rate)/$(b,--crash)/$(b,--slow) — through the fault-tolerant \
-     execution engine."
+    "Run a cluster scenario end-to-end through the simulator, with \
+     $(b,--fault-rate)/$(b,--crash)/$(b,--slow) through the fault-tolerant \
+     execution engine, or with $(b,--distributed) across real coordinator \
+     and worker processes with durable, resumable state."
   in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ scenario $ n_disks $ n_items $ algorithm_arg $ seed_arg
       $ jobs_arg $ verbose_arg $ trace $ fault_rate $ crashes $ slows
-      $ inject_tamper $ metrics_arg $ metrics_json_arg)
+      $ inject_tamper $ distributed $ state_dir $ kill_at $ metrics_arg
+      $ metrics_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* exact *)
@@ -701,15 +855,177 @@ let fuzz_service ~families ~count ~seed ~size ~jobs ~fault_rate ~regress_dir
   report_metrics ~metrics ~metrics_json;
   if report.Gen.Fuzz.svc_failures <> [] then exit 1
 
-let fuzz families count seed size jobs fault_rate service inject_broken
-    regress_dir metrics metrics_json =
+(* distributed soak fuzzing: run the coordinator/worker runner over
+   generated instances with a random scripted kill per cell, resume
+   until converged, and require the flight log to certify AND to
+   byte-match the in-process engine's *)
+let temp_state_dir () =
+  let f = Filename.temp_file "migrate_dist_" "" in
+  Sys.remove f;
+  Unix.mkdir f 0o700;
+  f
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let fuzz_distributed ~families ~count ~seed ~size ~regress_dir ~metrics
+    ~metrics_json =
+  let drive ~inst ~seed:iseed =
+    let rng = rng_of_seed (iseed lxor 0x0d15) in
+    let workers = 1 + Random.State.int rng 3 in
+    let kill =
+      let open Distproto.Runner in
+      let kill_round = Random.State.int rng 4 in
+      match Random.State.int rng 5 with
+      | 0 ->
+          {
+            kill_role = `Worker (Random.State.int rng workers);
+            kill_point = Worker_pre_round;
+            kill_round;
+          }
+      | 1 ->
+          {
+            kill_role = `Worker (Random.State.int rng workers);
+            kill_point = Worker_mid_round;
+            kill_round;
+          }
+      | 2 ->
+          {
+            kill_role = `Worker (Random.State.int rng workers);
+            kill_point = Worker_post_report;
+            kill_round;
+          }
+      | 3 -> { kill_role = `Coordinator; kill_point = Coord_pre_commit; kill_round }
+      | _ ->
+          { kill_role = `Coordinator; kill_point = Coord_post_commit; kill_round }
+    in
+    let reference =
+      Migration.Engine.run
+        ~rng:(Distproto.Runner.plan_rng iseed)
+        ~policy:Migration.Engine.no_faults inst
+    in
+    let ref_str =
+      Migration.Certify.execution_to_string
+        reference.Migration.Engine.execution
+    in
+    let state_dir = temp_state_dir () in
+    Fun.protect ~finally:(fun () -> rm_rf state_dir) @@ fun () ->
+    let rec converge attempts kill =
+      if attempts > 8 then
+        Error [ "distributed run did not converge within 8 resumes" ]
+      else
+        match
+          Distproto.Runner.run ?kill ~workers ~seed:iseed ~state_dir inst
+        with
+        | Error msg -> Error [ msg ]
+        | Ok (Distproto.Runner.Interrupted _) ->
+            (* kill specs are one-shot: resume without it *)
+            converge (attempts + 1) None
+        | Ok (Distproto.Runner.Completed o) ->
+            let v =
+              Migration.Certify.certify_execution o.Distproto.Runner.execution
+            in
+            let msgs =
+              List.map Migration.Certify.exec_violation_to_string
+                v.Migration.Certify.exec_violations
+            in
+            let msgs =
+              if
+                Migration.Certify.execution_to_string
+                  o.Distproto.Runner.execution
+                = ref_str
+              then msgs
+              else msgs @ [ "flight log differs from the in-process engine" ]
+            in
+            if msgs <> [] then Error msgs
+            else
+              Ok
+                {
+                  Gen.Fuzz.dd_runs = attempts + 1;
+                  dd_rounds = o.Distproto.Runner.rounds;
+                  dd_transfers = Migration.Instance.n_items inst;
+                  dd_kills = 1;
+                  dd_resumes = attempts;
+                }
+    in
+    converge 0 (Some kill)
+  in
+  let report = Gen.Fuzz.run_distributed ~size ~drive ~families ~count ~seed () in
+  Printf.printf
+    "distributed fuzz: %d families x %d instances, size %d, seed %d\n\n"
+    (List.length families) count size seed;
+  Printf.printf "%-12s %5s %6s %9s %5s %7s\n" "family" "runs" "rounds"
+    "transfers" "kills" "resumes";
+  List.iter
+    (fun (name, (t : Gen.Fuzz.dist_stats)) ->
+      Printf.printf "%-12s %5d %6d %9d %5d %7d\n" name t.Gen.Fuzz.dd_runs
+        t.Gen.Fuzz.dd_rounds t.Gen.Fuzz.dd_transfers t.Gen.Fuzz.dd_kills
+        t.Gen.Fuzz.dd_resumes)
+    report.Gen.Fuzz.dist_per_family;
+  Printf.printf "\ntotal: %d soaks, all converged & identical: %s, %d failures\n"
+    report.Gen.Fuzz.dist_instances
+    (if report.Gen.Fuzz.dist_failures = [] then "yes" else "NO")
+    (List.length report.Gen.Fuzz.dist_failures);
+  let regress_dir =
+    match regress_dir with
+    | Some d -> if Sys.file_exists d then Some d else None
+    | None ->
+        if Sys.file_exists "data/regressions" then Some "data/regressions"
+        else None
+  in
+  List.iter
+    (fun (f : Gen.Fuzz.dist_failure) ->
+      Printf.printf "\nFAILURE family=%s seed=%d size=%d\n" f.Gen.Fuzz.df_family
+        f.Gen.Fuzz.df_seed f.Gen.Fuzz.df_size;
+      List.iter (fun m -> Printf.printf "  - %s\n" m) f.Gen.Fuzz.df_messages;
+      Printf.printf
+        "  reproduce: migrate generate --family %s --seed %d --size %d > bad.inst\n"
+        f.Gen.Fuzz.df_family f.Gen.Fuzz.df_seed f.Gen.Fuzz.df_size;
+      let shrunk = f.Gen.Fuzz.df_shrunk in
+      Printf.printf "  shrunk reproducer (%d disks, %d items):\n"
+        (Migration.Instance.n_disks shrunk)
+        (Migration.Instance.n_items shrunk);
+      String.split_on_char '\n' (Migration.Instance.to_string shrunk)
+      |> List.iter (fun line -> if line <> "" then Printf.printf "    %s\n" line);
+      match regress_dir with
+      | None -> ()
+      | Some dir ->
+          (* test_corpus.ml replays every *_dist.inst through the
+             distributed runner and byte-compares against the engine,
+             so the shrunk reproducer becomes a pinned test *)
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "%s_s%d_dist.inst" f.Gen.Fuzz.df_family
+                 f.Gen.Fuzz.df_seed)
+          in
+          let oc = open_out path in
+          output_string oc (Migration.Instance.to_string shrunk);
+          close_out oc;
+          Printf.printf "  written to %s\n" path)
+    report.Gen.Fuzz.dist_failures;
+  report_metrics ~metrics ~metrics_json;
+  if report.Gen.Fuzz.dist_failures <> [] then exit 1
+
+let fuzz families count seed size jobs fault_rate service distributed
+    inject_broken regress_dir metrics metrics_json =
   if fault_rate < 0.0 || fault_rate >= 1.0 then begin
     Printf.eprintf "error: --fault-rate must be in [0, 1)\n";
     exit 2
   end;
+  if distributed && service then begin
+    Printf.eprintf "error: --distributed and --service are exclusive\n";
+    exit 2
+  end;
   let families = match families with [] -> Gen.all | fams -> fams in
   Migration.Instr.reset ();
-  if service then
+  if distributed then
+    fuzz_distributed ~families ~count ~seed ~size ~regress_dir ~metrics
+      ~metrics_json
+  else if service then
     fuzz_service ~families ~count ~seed ~size ~jobs ~fault_rate ~regress_dir
       ~metrics ~metrics_json
   else if fault_rate > 0.0 then
@@ -831,11 +1147,22 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "service" ] ~doc)
   in
+  let distributed =
+    let doc =
+      "Switch to distributed crash-recovery fuzzing: run the \
+       coordinator/worker runner over every generated instance with a \
+       seeded random kill -9 (role x phase x round), resume until \
+       converged, certify the flight log, and require it byte-identical \
+       to the in-process engine's.  Failures are shrunk into \
+       data/regressions/<family>_s<seed>_dist.inst reproducers."
+    in
+    Arg.(value & flag & info [ "distributed" ] ~doc)
+  in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const fuzz $ families $ count $ seed_arg $ size_arg $ jobs_arg
-      $ fault_rate $ service $ inject_broken $ regress $ metrics_arg
-      $ metrics_json_arg)
+      $ fault_rate $ service $ distributed $ inject_broken $ regress
+      $ metrics_arg $ metrics_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve *)

@@ -707,6 +707,33 @@ let pp_service ppf v =
         vs;
       Format.fprintf ppf "@]"
 
+(* Canonical flight-log rendering: one line per record, fixed field
+   order, integers only — two executions are equal iff their
+   renderings are byte-equal.  The distributed runner's determinism
+   contract ("same bytes as the in-process engine at any worker count
+   and any crash schedule") is checked on exactly this string. *)
+let execution_to_string x =
+  let buf = Buffer.create 1024 in
+  let ints l = String.concat "," (List.map string_of_int l) in
+  Buffer.add_string buf
+    (Printf.sprintf "instance %s\n"
+       (Digest.to_hex (Digest.string (Instance.to_string x.instance))));
+  Buffer.add_string buf (Printf.sprintf "rounds %d\n" (List.length x.log));
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "round %d attempted=%s completed=%s crashed=%s slowed=%s\n" i
+           (ints r.attempted) (ints r.completed) (ints r.crashed)
+           (String.concat ","
+              (List.map (fun (d, c) -> Printf.sprintf "%d:%d" d c) r.slowed))))
+    x.log;
+  Buffer.add_string buf (Printf.sprintf "idle %d\n" x.idle_rounds);
+  Buffer.add_string buf (Printf.sprintf "quarantined %s\n" (ints x.quarantined));
+  Buffer.add_string buf
+    (Printf.sprintf "replan_bounds %s\n" (ints x.replan_bounds));
+  Buffer.contents buf
+
 let pp_exec ppf v =
   match v.exec_violations with
   | [] ->

@@ -149,6 +149,15 @@ val certify_execution : execution -> exec_verdict
 val exec_violation_to_string : exec_violation -> string
 val pp_exec : Format.formatter -> exec_verdict -> unit
 
+(** [execution_to_string x] is the canonical byte-comparable rendering
+    of a flight log: one line per executed round with fixed field
+    order, plus the instance digest, idle count, quarantine and replan
+    bounds.  Two executions are equal iff their renderings are
+    byte-equal — the distributed runner's determinism contract (same
+    bytes as the in-process engine at any worker count and any crash
+    schedule) is checked on exactly this string. *)
+val execution_to_string : execution -> string
+
 (** {1 Service certification}
 
     A streaming service run is a sequence of {e epochs}: at each epoch

@@ -435,6 +435,32 @@ let run ?rng ?(jobs = 1) ?(max_retries = 5) ?(backoff_base = 1)
     remaining_plan;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Sharding hooks for the distributed control plane (lib/dist): a
+   pure partition of disks — and thus edges — across N workers.
+   Contiguous disk ranges keep a worker's traffic local to its
+   partition; an edge belongs to the worker owning its lower endpoint,
+   so every edge has exactly one owner and a resumed coordinator
+   re-derives the same split from (instance, workers) alone. *)
+
+let shard_of inst ~workers e =
+  if workers < 1 then invalid_arg "Engine.shard_of: workers must be >= 1";
+  let n = Instance.n_disks inst in
+  let m = Instance.n_items inst in
+  if e < 0 || e >= m then invalid_arg "Engine.shard_of: edge out of range";
+  let u, v = Multigraph.endpoints (Instance.graph inst) e in
+  let d = min u v in
+  min (workers - 1) (d * workers / n)
+
+let shard_round inst ~workers round =
+  let parts = Array.make workers [] in
+  List.iter
+    (fun e ->
+      let w = shard_of inst ~workers e in
+      parts.(w) <- e :: parts.(w))
+    round;
+  Array.map List.rev parts
+
 let pp_outcome ppf o =
   Format.fprintf ppf "@[<v>";
   Format.fprintf ppf

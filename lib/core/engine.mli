@@ -128,3 +128,22 @@ val run :
   outcome
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {1 Sharding hooks}
+
+    The distributed control plane (lib/dist) partitions each plan
+    round across N worker processes by contiguous disk range: disk [d]
+    belongs to worker [d * N / n_disks], and an edge to the worker
+    owning its lower endpoint.  Both are pure functions of the
+    instance, so a coordinator resuming from its journal re-derives
+    exactly the same shards — no shard table needs to be persisted. *)
+
+(** [shard_of inst ~workers e] is the owning worker (in [0 ..
+    workers-1]) of edge [e].
+    @raise Invalid_argument on [workers < 1] or an out-of-range edge. *)
+val shard_of : Instance.t -> workers:int -> int -> int
+
+(** [shard_round inst ~workers round] splits one plan round into per-
+    worker shards; each edge lands in exactly one shard and relative
+    order within a shard follows the round. *)
+val shard_round : Instance.t -> workers:int -> int list -> int list array

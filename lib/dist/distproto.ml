@@ -1,5 +1,6 @@
-(** Umbrella module for the distributed orchestration protocol. *)
+(** Umbrella module for the distributed control plane. *)
 
 module Message = Message
 module Net = Net
+module Journal = Journal
 module Runner = Runner

@@ -1,5 +1,11 @@
-(** Umbrella module for the distributed orchestration protocol. *)
+(** Umbrella module for the distributed control plane.
+
+    {!Runner} forks a coordinator and N worker processes that execute
+    a certified plan round by round; {!Message}/{!Net} are the
+    line-framed protocol between them; {!Journal} is the coordinator's
+    durable phase log that makes every run resumable after [kill -9]. *)
 
 module Message = Message
 module Net = Net
+module Journal = Journal
 module Runner = Runner

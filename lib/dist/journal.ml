@@ -1,0 +1,195 @@
+(* Append-only, fsync'd progress log.
+
+   One record per line: "<seq>\t<payload>\t<md5hex(seq TAB payload)>".
+   Records are appended with a single write(2) followed by fsync, so a
+   crash leaves at worst one torn record at the tail; [replay]
+   tolerates exactly that — it stops at the first record that fails
+   the checksum, the sequence check, or the parse, and returns the
+   valid prefix.  Idempotent resume is built on the phase order:
+   committed phases are skipped, the one in-flight round is re-issued. *)
+
+type entry =
+  | Planned of { digest : string; rounds : int; plan_md5 : string }
+  | Sharded of { workers : int }
+  | Round_started of { round : int }
+  | Round_committed of { round : int; edges : int list }
+  | Certified
+
+type phase =
+  | Empty
+  | Planned_phase
+  | Sharded_phase
+  | Executing_round of int
+  | Committed_round of int
+  | All_certified
+
+let phase_rank = function
+  | Empty -> 0
+  | Planned_phase -> 1
+  | Sharded_phase -> 2
+  | Executing_round k -> 3 + (2 * k)
+  | Committed_round k -> 4 + (2 * k)
+  | All_certified -> max_int
+
+let compare_phase a b = compare (phase_rank a) (phase_rank b)
+
+let phase_to_string = function
+  | Empty -> "empty"
+  | Planned_phase -> "planned"
+  | Sharded_phase -> "sharded"
+  | Executing_round k -> Printf.sprintf "round %d executing" k
+  | Committed_round k -> Printf.sprintf "round %d committed" k
+  | All_certified -> "certified"
+
+let edges_field = function
+  | [] -> "-"
+  | es -> String.concat "," (List.map string_of_int es)
+
+let payload_of_entry = function
+  | Planned { digest; rounds; plan_md5 } ->
+      Printf.sprintf "planned %s %d %s" digest rounds plan_md5
+  | Sharded { workers } -> Printf.sprintf "sharded %d" workers
+  | Round_started { round } -> Printf.sprintf "started %d" round
+  | Round_committed { round; edges } ->
+      Printf.sprintf "committed %d %s" round (edges_field edges)
+  | Certified -> "certified"
+
+let entry_of_payload s =
+  let int v = int_of_string_opt v in
+  match String.split_on_char ' ' s with
+  | [ "planned"; digest; r; plan_md5 ] ->
+      Option.map (fun rounds -> Planned { digest; rounds; plan_md5 }) (int r)
+  | [ "sharded"; w ] -> Option.map (fun workers -> Sharded { workers }) (int w)
+  | [ "started"; r ] -> Option.map (fun round -> Round_started { round }) (int r)
+  | [ "committed"; r; "-" ] ->
+      Option.map (fun round -> Round_committed { round; edges = [] }) (int r)
+  | [ "committed"; r; es ] -> (
+      match int r with
+      | None -> None
+      | Some round ->
+          let parts = String.split_on_char ',' es in
+          let rec go acc = function
+            | [] -> Some (Round_committed { round; edges = List.rev acc })
+            | p :: tl -> (
+                match int p with Some v -> go (v :: acc) tl | None -> None)
+          in
+          go [] parts)
+  | [ "certified" ] -> Some Certified
+  | _ -> None
+
+let checksum seq payload =
+  Digest.to_hex (Digest.string (string_of_int seq ^ "\t" ^ payload))
+
+type t = { jfd : Unix.file_descr; mutable next_seq : int }
+
+(* [replay_prefix] also returns the byte length of the valid prefix so
+   [open_] can truncate a torn tail away before appending: an O_APPEND
+   write after a torn partial line would glue the new record onto the
+   damaged bytes and corrupt it too.  A final line with no trailing
+   newline is itself a torn record — the '\n' is the commit point of
+   the single write(2) — so it is rejected even if its checksum holds. *)
+let replay_prefix path =
+  if not (Sys.file_exists path) then ([], 0)
+  else begin
+    let ic = open_in_bin path in
+    let entries = ref [] in
+    let seq = ref 0 in
+    let valid = ref 0 in
+    (try
+       let stop = ref false in
+       while not !stop do
+         let start = pos_in ic in
+         match input_line ic with
+         | exception End_of_file -> stop := true
+         | line ->
+             let terminated =
+               pos_in ic = start + String.length line + 1
+             in
+             if not terminated then stop := true
+             else begin
+               match String.split_on_char '\t' line with
+               | [ s; payload; sum ] -> (
+                   match int_of_string_opt s with
+                   | Some n
+                     when n = !seq
+                          && String.lowercase_ascii sum = checksum n payload
+                     -> (
+                       match entry_of_payload payload with
+                       | Some e ->
+                           entries := e :: !entries;
+                           incr seq;
+                           valid := pos_in ic
+                       | None -> stop := true)
+                   | Some _ | None -> stop := true)
+               | _ -> stop := true
+             end
+       done
+     with e ->
+       close_in_noerr ic;
+       raise e);
+    close_in ic;
+    (List.rev !entries, !valid)
+  end
+
+let replay path = fst (replay_prefix path)
+
+let open_ path =
+  let existing, valid_len = replay_prefix path in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  in
+  Unix.ftruncate fd valid_len;
+  ({ jfd = fd; next_seq = List.length existing }, existing)
+
+let append t entry =
+  let payload = payload_of_entry entry in
+  let seq = t.next_seq in
+  let line =
+    Printf.sprintf "%d\t%s\t%s\n" seq payload (checksum seq payload)
+  in
+  let bytes = Bytes.of_string line in
+  let len = Bytes.length bytes in
+  let rec write_all off =
+    if off < len then
+      let n =
+        try Unix.write t.jfd bytes off (len - off)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      write_all (off + n)
+  in
+  write_all 0;
+  Unix.fsync t.jfd;
+  t.next_seq <- seq + 1
+
+let close t = try Unix.close t.jfd with Unix.Unix_error (_, _, _) -> ()
+
+let phase_of entries =
+  List.fold_left
+    (fun ph e ->
+      let p =
+        match e with
+        | Planned _ -> Planned_phase
+        | Sharded _ -> Sharded_phase
+        | Round_started { round } -> Executing_round round
+        | Round_committed { round; _ } -> Committed_round round
+        | Certified -> All_certified
+      in
+      if compare_phase p ph > 0 then p else ph)
+    Empty entries
+
+let committed entries =
+  List.rev
+    (List.fold_left
+       (fun acc e ->
+         match e with
+         | Round_committed { round; edges } ->
+             if List.mem_assoc round acc then acc else (round, edges) :: acc
+         | _ -> acc)
+       [] entries)
+
+let planned entries =
+  List.find_map
+    (function
+      | Planned { digest; rounds; plan_md5 } -> Some (digest, rounds, plan_md5)
+      | _ -> None)
+    entries

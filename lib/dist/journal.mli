@@ -1,0 +1,69 @@
+(** Durable, resumable coordinator state: an append-only progress log.
+
+    The coordinator's phase machine — [Planned → Sharded → round k
+    executing → round k committed → … → Certified] — is persisted one
+    phase transition per record, each a single [write(2)] followed by
+    [fsync], so a [kill -9] at any instant leaves at worst one torn
+    record at the file's tail.  {!replay} is torn-tail tolerant by
+    construction: every record carries an MD5 checksum over its
+    sequence number and payload, and replay stops at the first record
+    failing the checksum, the dense sequence check, or the parse,
+    returning the valid prefix.
+
+    Resume is idempotent on this prefix: phases at or below the
+    replayed high-water mark are skipped (their records are never
+    re-appended), the single possibly-in-flight round — [Round_started
+    k] without a matching [Round_committed k] — is re-issued exactly
+    once, and a journal already at [Certified] makes the whole run a
+    no-op that reports the same outcome. *)
+
+type entry =
+  | Planned of { digest : string; rounds : int; plan_md5 : string }
+      (** instance+seed digest, plan shape, and the plan's own md5 —
+          enough to refuse resuming against the wrong instance or a
+          non-reproducible plan *)
+  | Sharded of { workers : int }
+  | Round_started of { round : int }
+  | Round_committed of { round : int; edges : int list }
+      (** the barrier: [edges] is the full round in plan order *)
+  | Certified
+
+(** Phases in execution order; {!compare_phase} orders them
+    [Empty < Planned < Sharded < Executing 0 < Committed 0 <
+    Executing 1 < … < All_certified]. *)
+type phase =
+  | Empty
+  | Planned_phase
+  | Sharded_phase
+  | Executing_round of int
+  | Committed_round of int
+  | All_certified
+
+val compare_phase : phase -> phase -> int
+val phase_to_string : phase -> string
+
+type t
+(** An open journal handle (write side). *)
+
+val open_ : string -> t * entry list
+(** Open (creating if absent) and replay: the returned entries are the
+    valid prefix already on disk; appends continue after it. *)
+
+val append : t -> entry -> unit
+(** Append one record: a single write followed by [fsync]. *)
+
+val close : t -> unit
+
+val replay : string -> entry list
+(** Read-only replay of the valid prefix; [[]] when the file does not
+    exist.  Stops silently at the first torn or corrupt record. *)
+
+val phase_of : entry list -> phase
+(** The high-water phase of a replayed prefix. *)
+
+val committed : entry list -> (int * int list) list
+(** The committed rounds, in round order, first record winning —
+    replaying a journal twice yields the same list. *)
+
+val planned : entry list -> (string * int * string) option
+(** The [Planned] record's [(digest, rounds, plan_md5)], if present. *)

@@ -1,33 +1,90 @@
-let coordinator = -1
+(* Wire messages of the coordinator/worker protocol.
 
-type payload =
-  | Prepare of { round : int; transfers : (int * int * int) list }
-  | Transfer of { round : int; item : int; dst : int }
-  | Item_ack of { round : int; item : int }
-  | Round_done of { round : int }
-  | Status_query
-  | Status_report of { holder : int; items : int list }
+   One message per line: a lowercase tag followed by space-separated
+   integer fields; edge lists are comma-separated ("-" when empty) so
+   a field never holds spaces.  The one exception is the farewell
+   metrics payload, which is the frame's final field and consumes the
+   rest of the line.  [decode] is total — a malformed frame is an
+   [Error], never an exception — because the bytes cross a process
+   boundary and the peer may have died mid-write. *)
 
-type t = {
-  from_node : int;
-  to_node : int;
-  sent_at : float;
-  payload : payload;
-}
+type t =
+  | Hello of { worker : int; workers : int; rounds : int }
+  | Ready of { worker : int }
+  | Round_start of { round : int; edges : int list }
+  | Round_done of { worker : int; round : int; edges : int list }
+  | Commit of { round : int }
+  | Finish
+  | Bye of { worker : int; metrics : string }
 
-let pp_payload ppf = function
-  | Prepare { round; transfers } ->
-      Format.fprintf ppf "Prepare(r%d, %d transfers)" round
-        (List.length transfers)
-  | Transfer { round; item; dst } ->
-      Format.fprintf ppf "Transfer(r%d, item %d -> disk %d)" round item dst
-  | Item_ack { round; item } -> Format.fprintf ppf "ItemAck(r%d, item %d)" round item
-  | Round_done { round } -> Format.fprintf ppf "RoundDone(r%d)" round
-  | Status_query -> Format.fprintf ppf "StatusQuery"
-  | Status_report { holder; items } ->
-      Format.fprintf ppf "StatusReport(disk %d, %d items)" holder
-        (List.length items)
+let encode_edges = function
+  | [] -> "-"
+  | es -> String.concat "," (List.map string_of_int es)
+
+let decode_edges = function
+  | "-" -> Some []
+  | s ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | p :: tl -> (
+            match int_of_string_opt p with
+            | Some v -> go (v :: acc) tl
+            | None -> None)
+      in
+      go [] (String.split_on_char ',' s)
+
+let encode = function
+  | Hello { worker; workers; rounds } ->
+      Printf.sprintf "hello %d %d %d" worker workers rounds
+  | Ready { worker } -> Printf.sprintf "ready %d" worker
+  | Round_start { round; edges } ->
+      Printf.sprintf "round %d %s" round (encode_edges edges)
+  | Round_done { worker; round; edges } ->
+      Printf.sprintf "done %d %d %s" worker round (encode_edges edges)
+  | Commit { round } -> Printf.sprintf "commit %d" round
+  | Finish -> "finish"
+  | Bye { worker; metrics } ->
+      Printf.sprintf "bye %d %s" worker (if metrics = "" then "-" else metrics)
+
+let decode line =
+  let fail () = Error (Printf.sprintf "unparseable frame %S" line) in
+  let int s k =
+    match int_of_string_opt s with Some v -> k v | None -> fail ()
+  in
+  let edges s k = match decode_edges s with Some es -> k es | None -> fail () in
+  match String.split_on_char ' ' line with
+  | [ "hello"; w; n; r ] ->
+      int w (fun worker ->
+          int n (fun workers ->
+              int r (fun rounds -> Ok (Hello { worker; workers; rounds }))))
+  | [ "ready"; w ] -> int w (fun worker -> Ok (Ready { worker }))
+  | [ "round"; r; es ] ->
+      int r (fun round ->
+          edges es (fun edges -> Ok (Round_start { round; edges })))
+  | [ "done"; w; r; es ] ->
+      int w (fun worker ->
+          int r (fun round ->
+              edges es (fun edges -> Ok (Round_done { worker; round; edges }))))
+  | [ "commit"; r ] -> int r (fun round -> Ok (Commit { round }))
+  | [ "finish" ] -> Ok Finish
+  | "bye" :: w :: rest ->
+      int w (fun worker ->
+          let metrics =
+            match rest with [ "-" ] -> "" | _ -> String.concat " " rest
+          in
+          Ok (Bye { worker; metrics }))
+  | _ -> fail ()
 
 let pp ppf m =
-  Format.fprintf ppf "%d -> %d @%.2f: %a" m.from_node m.to_node m.sent_at
-    pp_payload m.payload
+  match m with
+  | Hello { worker; workers; rounds } ->
+      Format.fprintf ppf "Hello(w%d of %d, %d rounds)" worker workers rounds
+  | Ready { worker } -> Format.fprintf ppf "Ready(w%d)" worker
+  | Round_start { round; edges } ->
+      Format.fprintf ppf "RoundStart(r%d, %d edges)" round (List.length edges)
+  | Round_done { worker; round; edges } ->
+      Format.fprintf ppf "RoundDone(w%d, r%d, %d edges)" worker round
+        (List.length edges)
+  | Commit { round } -> Format.fprintf ppf "Commit(r%d)" round
+  | Finish -> Format.fprintf ppf "Finish"
+  | Bye { worker; _ } -> Format.fprintf ppf "Bye(w%d)" worker

@@ -1,41 +1,41 @@
-(** Protocol messages for distributed migration orchestration.
+(** Wire messages of the coordinator/worker protocol.
 
-    The paper schedules rounds; this layer is how a cluster actually
-    runs them: a coordinator broadcasts each round's transfer list,
-    source disks push the data, destination disks acknowledge to the
-    coordinator, and the round barrier is "all acks received".  All
-    messages are idempotent so the coordinator can retransmit on
-    timeout over lossy links.
+    The paper schedules rounds; this layer is how separate {e
+    processes} actually run them.  A coordinator owns the certified
+    plan, shards each round across N workers, and advances the round
+    barrier only after every shard reports back; workers execute their
+    shard of transfers and report completions.  Frames are
+    line-oriented text — one message per line, integer fields, edge
+    lists comma-separated — so the protocol is greppable in a pipe
+    trace and a torn frame (the peer died mid-write) is cheap to
+    reject.
 
-    Node addressing: disks are [0 .. n-1]; the coordinator is the
-    distinguished id {!coordinator}. *)
+    Every message is idempotent at the receiver: a respawned worker
+    re-sent its [Round_start] simply redoes the shard, and a
+    coordinator that already marked a shard reported ignores the
+    duplicate [Round_done] — the durability story (journal commits)
+    never depends on a frame arriving exactly once. *)
 
-(** The coordinator's node id (disks are [>= 0]). *)
-val coordinator : int
+type t =
+  | Hello of { worker : int; workers : int; rounds : int }
+      (** coordinator → worker: your identity and the plan shape *)
+  | Ready of { worker : int }  (** worker → coordinator: handshake ack *)
+  | Round_start of { round : int; edges : int list }
+      (** coordinator → worker: execute this shard of [round] *)
+  | Round_done of { worker : int; round : int; edges : int list }
+      (** worker → coordinator: shard done, completions attached *)
+  | Commit of { round : int }
+      (** coordinator → worker: barrier release — [round] is durable *)
+  | Finish  (** coordinator → worker: no more rounds *)
+  | Bye of { worker : int; metrics : string }
+      (** worker → coordinator: farewell carrying the worker's probe
+          snapshot ({!Instr.Probes.marshal_snapshot}); the metrics
+          field is the rest of the line and may contain spaces *)
 
-type payload =
-  | Prepare of { round : int; transfers : (int * int * int) list }
-      (** [(item, src, dst)] — the round's transfer list, broadcast to
-          every disk that sources a transfer (idempotent: re-received
-          transfers already performed are ignored) *)
-  | Transfer of { round : int; item : int; dst : int }
-      (** the data message, source disk → destination disk *)
-  | Item_ack of { round : int; item : int }
-      (** destination disk → coordinator: item installed *)
-  | Round_done of { round : int }
-      (** coordinator → all participants: barrier released *)
-  | Status_query
-      (** recovering coordinator → disk: which scheduled items do you
-          hold? *)
-  | Status_report of { holder : int; items : int list }
-      (** disk → coordinator: installed items (among those the
-          schedule targets at this disk) *)
+val encode : t -> string
+(** One line, no trailing newline. *)
 
-type t = {
-  from_node : int;
-  to_node : int;
-  sent_at : float;
-  payload : payload;
-}
+val decode : string -> (t, string) result
+(** Total: a malformed frame is [Error], never an exception. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,42 +1,50 @@
-(** Lossy, delayed message delivery.
+(** Line-framed messaging over real file descriptors.
 
-    Control messages take [latency] (± uniform [jitter]); data messages
-    ({!Message.Transfer}) additionally pay [per_item] transfer time.
-    Every message is independently dropped with probability [loss].
-    Deterministic for a fixed seed.
+    The transport under the coordinator/worker protocol: one
+    {!Message.t} per '\n'-terminated line, over whatever fd pair the
+    runner set up (socketpairs for local workers).  The design centers
+    on surviving [kill -9] of the peer — every failure mode funnels
+    into {!Closed} (on send: EPIPE/ECONNRESET; on receive: EOF with
+    nothing buffered), and a torn final frame from a peer that died
+    mid-write is discarded, never delivered as a message.
 
-    The network owns the global event queue: components call
-    {!send}, the {!Runner} pops deliveries in timestamp order. *)
+    {!next} is the coordinator's multiplexer: it drains
+    already-buffered frames without a syscall first (scanning
+    connections in caller order, which keeps the event sequence
+    deterministic for a fixed message arrival order), then selects on
+    the live fds.  A connection that hits EOF or produces a torn frame
+    surfaces as {!Eof} of its tag so one dying worker never crashes the
+    loop; the caller must drop the connection from its list after an
+    [Eof], or [next] will keep returning it. *)
 
-type t
+exception Closed
+(** The peer is gone: write to a broken pipe, or end-of-stream with no
+    complete frame buffered. *)
 
-(** Defaults: [latency = 0.1], [jitter = 0.02], [per_item = 1.0] (data
-    transfer service time), [loss = 0.0].
-    @raise Invalid_argument on negative latency/jitter/per_item or
-    [loss] outside [0, 1). *)
-val create :
-  ?latency:float ->
-  ?jitter:float ->
-  ?per_item:float ->
-  ?loss:float ->
-  seed:int ->
-  unit ->
-  t
+type conn
 
-(** [send net ~now msg] enqueues [msg] for future delivery (or drops
-    it). *)
-val send : t -> now:float -> Message.t -> unit
+val of_fd : Unix.file_descr -> conn
+val fd : conn -> Unix.file_descr
 
-(** Earliest undelivered message, removed from the queue; [None] when
-    the network is quiet. *)
-val next_delivery : t -> (float * Message.t) option
+val close : conn -> unit
+(** Close the fd; idempotent, never raises. *)
 
-(** [requeue net at msg] puts a popped delivery back unchanged (no
-    extra latency, no loss) — used by the runner when a timer fires
-    before the next delivery. *)
-val requeue : t -> float -> Message.t -> unit
+val send : conn -> Message.t -> unit
+(** Write one framed message, retrying short writes.
+    @raise Closed if the peer is gone. *)
 
-(** Statistics: messages offered, dropped, delivered so far. *)
-val offered : t -> int
+val recv : ?timeout_s:float -> conn -> Message.t option
+(** Next message from this connection; blocks (up to [timeout_s] when
+    given — [None] on timeout).
+    @raise Closed on EOF or a torn frame. *)
 
-val dropped : t -> int
+type 'a event =
+  | Msg of 'a * Message.t
+  | Eof of 'a  (** that connection is dead (EOF or torn frame) *)
+  | Timeout
+
+val next : ?timeout_s:float -> ('a * conn) list -> 'a event
+(** One event from any of the tagged connections (default timeout
+    30s).  Buffered frames win without a syscall; otherwise selects.
+    Remove a connection after its [Eof] — it is reported again until
+    dropped. *)

@@ -1,53 +1,92 @@
-(** The distributed migration protocol, executed.
+(** Distributed plan execution: real processes, durable rounds.
 
-    A coordinator drives a {!Migration.Schedule.t} round by round over
-    a lossy network:
+    [run ~workers:n] forks a coordinator which plans (byte-identically
+    to {!Migration.Engine.run} seeded with {!plan_rng}), certifies,
+    and drives the plan round by round across [n] worker processes
+    over local socketpairs.  Progress is a phase machine — [Planned →
+    Sharded → round k executing → round k committed → … → Certified] —
+    persisted write-ahead in the state dir's fsync'd {!Journal}, so
+    the run is durable and resumable:
 
-    + broadcast {!Message.Prepare} with the round's transfer list to
-      every source disk;
-    + source disks emit {!Message.Transfer} data messages; destination
-      disks install the item and send {!Message.Item_ack} to the
-      coordinator (installation is idempotent, so duplicates from
-      retransmissions are harmless);
-    + the round barrier is "every item of the round acked"; on a
-      timeout the coordinator re-broadcasts a Prepare containing only
-      the still-missing transfers;
-    + when the barrier releases, {!Message.Round_done} is broadcast
-      and the next round starts.
+    - [kill -9] of a {e worker} is absorbed within the run: the
+      coordinator reaps it, respawns the index and re-issues the
+      current round's shard unless that worker already reported it;
+    - [kill -9] of the {e coordinator} surfaces as [Ok (Interrupted
+      _)]; calling [run] again with the same arguments resumes from
+      the journal — committed rounds are skipped ([skipped] counts
+      them), the one possibly in-flight round is re-issued exactly
+      once, and a journal already at [Certified] makes the re-run a
+      reporting no-op.
 
-    The run is a deterministic discrete-event simulation (fixed seed);
-    the report exposes what an operator would meter: virtual wall
-    time, message and retransmission counts, drops.
+    {b Determinism contract}: for a fixed instance and [seed], the
+    completed [outcome.execution] renders
+    ({!Migration.Certify.execution_to_string}) byte-identically to
+    [Engine.run ~rng:(plan_rng seed) ~policy:Engine.no_faults] — at
+    any [workers], across any crash/resume schedule.  Rounds commit in
+    plan order carrying the plan's own edge order, so worker count and
+    report interleaving never leak into the flight log.
 
-    This realizes the paper's synchronous-round abstraction on an
-    asynchronous fault-prone substrate — the gap between "a schedule
-    exists" and "a cluster executed it". *)
+    Instrumentation: ["dist.rounds"], ["dist.commits"],
+    ["dist.respawns"], ["dist.resumes"], ["dist.messages"],
+    ["dist.transfers"] (worker-side, shipped home in [Bye]) and the
+    ["dist.round"] timer.  Child processes report their snapshots up
+    the tree, so the caller's {!Migration.Instr.snapshot} after [run]
+    covers coordinator and workers too.
 
-type report = {
-  rounds : int;
-  wall_time : float;           (** virtual time until the last barrier *)
-  messages_offered : int;
-  messages_dropped : int;
-  retransmissions : int;       (** Prepare re-broadcasts and re-queries *)
-  items_delivered : int;
-  failovers : int;             (** coordinator crashes recovered from *)
+    Forking caveat: [run] forks, which is only safe while no other
+    domains are live — callers must not hold an {!Exec} pool open
+    across it (the library itself plans with [jobs:1]). *)
+
+(** Scripted crash injection, for the crash-recovery battery and the
+    fuzz soak: the matching process SIGKILLs itself at the named
+    point of the named round — indistinguishable from an external
+    [kill -9].  Specs are one-shot: respawned workers and resumed
+    coordinators never re-arm them. *)
+type kill_point =
+  | Worker_pre_round  (** shard received, nothing executed *)
+  | Worker_mid_round  (** half the shard executed *)
+  | Worker_post_report  (** report sent, ack never seen *)
+  | Coord_pre_commit  (** all reports in, commit record not yet durable *)
+  | Coord_post_commit  (** commit durable, barrier release never sent *)
+
+type kill_role = [ `Worker of int | `Coordinator ]
+type kill_spec = { kill_role : kill_role; kill_point : kill_point; kill_round : int }
+
+val kill_point_to_string : kill_point -> string
+
+type outcome = {
+  execution : Migration.Certify.execution;
+      (** reconstructed from the journal's committed rounds; passes
+          {!Migration.Certify.certify_execution} and byte-matches the
+          in-process engine *)
+  rounds : int;  (** rounds committed, ever (including prior runs) *)
+  workers : int;
+  respawns : int;  (** workers revived during this run *)
+  skipped : int;  (** rounds already committed when this run started *)
+  resumed : bool;  (** the journal was non-empty at start *)
 }
 
-exception Protocol_stuck of string
+type result =
+  | Completed of outcome
+  | Interrupted of { phase : Journal.phase; signal : int }
+      (** the coordinator died; the journal holds [phase] — call [run]
+          again to resume *)
 
-(** [run ?timeout ?crash net job sched] executes [sched]; mutates
-    nothing (the job is read-only; final placement correctness is
-    checked internally and asserted).  [timeout] is the coordinator's
-    retransmit timer (default 6.0).
+val plan_rng : int -> Random.State.t
+(** The planning RNG for [seed] — pass the same to
+    {!Migration.Engine.run} when byte-comparing flight logs. *)
 
-    [crash = (at, recovery_delay)] kills the coordinator at virtual
-    time [at], losing all its round state; a stand-by takes over after
-    [recovery_delay], reconstructs progress by broadcasting
-    {!Message.Status_query} and collecting {!Message.Status_report}s,
-    then resumes from the first incomplete round.  In-flight transfers
-    keep landing during the outage — the disks never stop.
-    @raise Protocol_stuck if progress stalls beyond the retransmission
-    budget (only possible at extreme loss rates). *)
 val run :
-  ?timeout:float -> ?crash:float * float -> Net.t -> Storsim.Cluster.job ->
-  Migration.Schedule.t -> report
+  ?kill:kill_spec ->
+  ?round_timeout_s:float ->
+  workers:int ->
+  seed:int ->
+  state_dir:string ->
+  Migration.Instance.t ->
+  (result, string) Stdlib.result
+(** Execute (or resume) the migration of the instance.  [state_dir]
+    is created if missing and owns the journal and the metrics file; a
+    journal written by a different instance/seed is refused with
+    [Error].  [round_timeout_s] (default 30s) bounds every protocol
+    wait — a stall is an [Error], never a hang.
+    @raise Invalid_argument on [workers < 1]. *)

@@ -25,14 +25,30 @@ type pool = {
    sees, which inside CI containers is routinely clamped below the
    machine's real core count.  MIGRATE_JOBS lets the runner (or a
    developer) assert the true count; anything unparsable falls back to
-   the runtime's view. *)
+   the runtime's view.
+
+   The environment is read exactly once per process: distributed
+   worker processes mutate the env mid-run (and putenv itself is not
+   thread-safe), so re-reading on every call could hand two pool
+   creations in one run different job counts.  0 means "not yet
+   computed"; the first caller publishes via compare-and-set, racing
+   domains all settle on the single published value. *)
+let default_jobs_memo = Atomic.make 0
+
 let default_jobs () =
-  match Sys.getenv_opt "MIGRATE_JOBS" with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some j when j > 0 -> j
-      | Some _ | None -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+  match Atomic.get default_jobs_memo with
+  | 0 ->
+      let j =
+        match Sys.getenv_opt "MIGRATE_JOBS" with
+        | Some s -> (
+            match int_of_string_opt (String.trim s) with
+            | Some j when j > 0 -> j
+            | Some _ | None -> Domain.recommended_domain_count ())
+        | None -> Domain.recommended_domain_count ()
+      in
+      ignore (Atomic.compare_and_set default_jobs_memo 0 j);
+      Atomic.get default_jobs_memo
+  | j -> j
 let jobs p = p.n_workers
 let busy_times p = Array.copy p.busy
 

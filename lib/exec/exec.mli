@@ -36,7 +36,11 @@ type pool
     [MIGRATE_JOBS] environment variable when set to a positive
     integer, else [Domain.recommended_domain_count ()].  The override
     exists because containerized CI runners routinely clamp the
-    cpuset the runtime sees below the machine's real core count. *)
+    cpuset the runtime sees below the machine's real core count.
+
+    The environment is consulted once per process and the answer
+    memoized: a worker process that mutates [MIGRATE_JOBS] mid-run
+    cannot make two calls observe different (torn) job counts. *)
 val default_jobs : unit -> int
 
 (** [create ~jobs] starts [jobs] worker domains ([jobs >= 1]; [1]

@@ -651,3 +651,114 @@ let run_engine ?(size = 12) ?(jobs = 1) ~policy ~families ~count ~seed () =
     eng_totals = !totals;
     eng_failures = List.rev !failures;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Distributed crash-recovery soak: drive the coordinator/worker
+   runner — with scripted random kills — over generated instances,
+   resume after every interruption, and certify + byte-compare the
+   converged flight log.  The driver comes in as a closure (build it
+   from [Distproto.Runner.run]): the distributed control plane sits
+   outside this library's layering cone.  Strictly sequential, no
+   [jobs] knob by design — the driver forks processes, and forking
+   with live worker domains is unsafe in OCaml 5. *)
+
+type dist_stats = {
+  dd_runs : int;       (* run invocations, resumes included *)
+  dd_rounds : int;     (* rounds committed *)
+  dd_transfers : int;  (* items migrated *)
+  dd_kills : int;      (* scripted kills injected *)
+  dd_resumes : int;    (* coordinator resumes needed to converge *)
+}
+
+type dist_failure = {
+  df_family : string;
+  df_seed : int;
+  df_size : int;
+  df_messages : string list;
+  df_instance : M.Instance.t;
+  df_shrunk : M.Instance.t;
+}
+
+type dist_report = {
+  dist_per_family : (string * dist_stats) list;
+  dist_totals : dist_stats;
+  dist_instances : int;
+  dist_failures : dist_failure list;
+}
+
+let zero_dist_stats =
+  { dd_runs = 0; dd_rounds = 0; dd_transfers = 0; dd_kills = 0; dd_resumes = 0 }
+
+let add_dist_stats a b =
+  {
+    dd_runs = a.dd_runs + b.dd_runs;
+    dd_rounds = a.dd_rounds + b.dd_rounds;
+    dd_transfers = a.dd_transfers + b.dd_transfers;
+    dd_kills = a.dd_kills + b.dd_kills;
+    dd_resumes = a.dd_resumes + b.dd_resumes;
+  }
+
+let c_dist_runs = M.Instr.counter "fuzz.dist.runs"
+let c_dist_violations = M.Instr.counter "fuzz.dist.violations"
+
+let run_distributed ?(size = 8) ~drive ~families ~count ~seed () =
+  let specs =
+    List.concat_map
+      (fun fam ->
+        List.init count (fun index -> (fam, derived_seed ~base:seed ~index)))
+      families
+  in
+  (* sequential by necessity (the driver forks); merge order matches
+     run_service so reports stay byte-stable across refactors *)
+  let outcomes =
+    List.map
+      (fun (fam, iseed) ->
+        let inst = Families.instance fam ~seed:iseed ~size in
+        (inst, drive ~inst ~seed:iseed))
+      specs
+  in
+  let failures = ref [] in
+  let totals = ref zero_dist_stats in
+  let instances = ref 0 in
+  let dist_per_family =
+    List.map
+      (fun fam ->
+        let t = ref zero_dist_stats in
+        List.iter2
+          (fun (fam', iseed) (inst, outcome) ->
+            if fam'.Families.name = fam.Families.name then begin
+              M.Instr.bump c_dist_runs;
+              incr instances;
+              match outcome with
+              | Ok s ->
+                  t := add_dist_stats !t s;
+                  totals := add_dist_stats !totals s
+              | Error msgs ->
+                  M.Instr.bump c_dist_violations;
+                  let shrunk =
+                    shrink
+                      ~fails:(fun i ->
+                        Result.is_error (drive ~inst:i ~seed:iseed))
+                      inst
+                  in
+                  failures :=
+                    {
+                      df_family = fam.Families.name;
+                      df_seed = iseed;
+                      df_size = size;
+                      df_messages = msgs;
+                      df_instance = inst;
+                      df_shrunk = shrunk;
+                    }
+                    :: !failures
+            end)
+          specs outcomes;
+        (fam.Families.name, !t))
+      families
+  in
+  {
+    dist_per_family;
+    dist_totals = !totals;
+    dist_instances = !instances;
+    dist_failures = List.rev !failures;
+  }

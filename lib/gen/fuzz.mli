@@ -203,3 +203,59 @@ val run_service :
   seed:int ->
   unit ->
   service_report
+
+(** {1 Distributed crash-recovery soak}
+
+    One level sideways from {!run_service}: drive the {e distributed}
+    coordinator/worker runner over generated instances with scripted
+    random kills, resume after every interruption, and require the
+    converged flight log to certify and to byte-match the in-process
+    engine's.  The driver comes in as a closure (build it from
+    [Distproto.Runner.run]) because the distributed control plane
+    links process machinery outside this library's layering cone. *)
+
+type dist_stats = {
+  dd_runs : int;       (** run invocations, resumes included *)
+  dd_rounds : int;     (** rounds committed *)
+  dd_transfers : int;  (** items migrated *)
+  dd_kills : int;      (** scripted kills injected *)
+  dd_resumes : int;    (** coordinator resumes needed to converge *)
+}
+
+type dist_failure = {
+  df_family : string;
+  df_seed : int;  (** regenerate with [Families.instance ~seed ~size] *)
+  df_size : int;
+  df_messages : string list;
+  df_instance : Migration.Instance.t;
+  df_shrunk : Migration.Instance.t;
+      (** delta-debugged against the same driver *)
+}
+
+type dist_report = {
+  dist_per_family : (string * dist_stats) list;  (** input order *)
+  dist_totals : dist_stats;
+  dist_instances : int;
+  dist_failures : dist_failure list;
+}
+
+(** [run_distributed ~drive ~families ~count ~seed ()] soaks the
+    distributed runner on [count] instances per family ([size]
+    defaults to 8 — each cell forks a process tree, so cells are
+    smaller than the other loops').  [drive ~inst ~seed] runs one
+    kill/resume/converge cycle and must be deterministic in
+    [(inst, seed)]; a failing instance is shrunk against
+    [Result.is_error (drive ...)].  Strictly sequential — no [jobs]
+    knob — because the driver forks, which is unsafe with live worker
+    domains. *)
+val run_distributed :
+  ?size:int ->
+  drive:
+    (inst:Migration.Instance.t ->
+    seed:int ->
+    (dist_stats, string list) result) ->
+  families:Families.family list ->
+  count:int ->
+  seed:int ->
+  unit ->
+  dist_report

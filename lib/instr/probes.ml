@@ -98,6 +98,77 @@ let snapshot () =
       in
       { counters = cs; timers = ts })
 
+(* Cross-process aggregation: the distributed runner forks
+   coordinator and worker processes, each with its own registry.  A
+   child marshals its snapshot into a single line (workers ship it in
+   their farewell protocol message; the coordinator leaves its own in
+   the state directory) and the parent absorbs it, so one process's
+   snapshot covers the whole process tree.  The encoding is a plain
+   space-separated list — "c:<name>=<n>" and "t:<name>=<total>:<spans>"
+   with %h hex floats so spans round-trip exactly; names are
+   dot-separated identifiers and never contain spaces. *)
+
+let marshal_snapshot snap =
+  String.concat " "
+    (List.map (fun (name, v) -> Printf.sprintf "c:%s=%d" name v) snap.counters
+    @ List.map
+        (fun (name, sp) ->
+          Printf.sprintf "t:%s=%h:%d" name sp.total_s sp.count)
+        snap.timers)
+
+let unmarshal_snapshot s =
+  let split_eq item =
+    match String.index_opt item '=' with
+    | None -> None
+    | Some i ->
+        Some
+          ( String.sub item 0 i,
+            String.sub item (i + 1) (String.length item - i - 1) )
+  in
+  let parse item =
+    if String.length item < 2 || item.[1] <> ':' then None
+    else
+      let body = String.sub item 2 (String.length item - 2) in
+      match (item.[0], split_eq body) with
+      | 'c', Some (name, v) ->
+          Option.map (fun v -> `C (name, v)) (int_of_string_opt v)
+      | 't', Some (name, v) -> (
+          match String.rindex_opt v ':' with
+          | None -> None
+          | Some k -> (
+              let total = String.sub v 0 k in
+              let count = String.sub v (k + 1) (String.length v - k - 1) in
+              match (float_of_string_opt total, int_of_string_opt count) with
+              | Some total_s, Some count -> Some (`T (name, { total_s; count }))
+              | _ -> None))
+      | _ -> None
+  in
+  let items = List.filter (fun x -> x <> "") (String.split_on_char ' ' s) in
+  let rec go cs ts = function
+    | [] -> Some { counters = List.rev cs; timers = List.rev ts }
+    | item :: rest -> (
+        match parse item with
+        | Some (`C c) -> go (c :: cs) ts rest
+        | Some (`T t) -> go cs (t :: ts) rest
+        | None -> None)
+  in
+  go [] [] items
+
+let absorb snap =
+  List.iter
+    (fun (name, v) -> if v <> 0 then bump ~by:v (counter name))
+    snap.counters;
+  List.iter
+    (fun (name, sp) ->
+      if sp.count > 0 then begin
+        let t = timer name in
+        Mutex.lock t.t_lock;
+        t.total_s <- t.total_s +. sp.total_s;
+        t.spans <- t.spans + sp.count;
+        Mutex.unlock t.t_lock
+      end)
+    snap.timers
+
 (* Names are ["subsystem.event"] identifiers — no quotes, backslashes
    or control characters — but escape defensively anyway. *)
 let json_escape s =

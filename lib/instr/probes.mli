@@ -67,6 +67,26 @@ val reset : unit -> unit
 
 val snapshot : unit -> snapshot
 
+(** {1 Cross-process aggregation}
+
+    The distributed runner forks coordinator and worker processes;
+    each has its own registry, so a parent's {!snapshot} would miss
+    everything the children counted.  A child marshals its snapshot
+    into a single line, ships it to the parent (protocol message or
+    state-dir file), and the parent {!absorb}s it — one process's
+    snapshot then covers the whole process tree. *)
+
+val marshal_snapshot : snapshot -> string
+(** Single-line encoding (never contains ['\n']); timer spans use hex
+    floats so values round-trip exactly. *)
+
+val unmarshal_snapshot : string -> snapshot option
+(** Inverse of {!marshal_snapshot}; [None] on malformed input. *)
+
+val absorb : snapshot -> unit
+(** Add a snapshot's counts and spans into this process's registry,
+    registering any cells it does not have yet. *)
+
 (** Flat JSON object: one key per counter (integer value) plus a
     ["phase_timings"] sub-object mapping timer names to total seconds
     (and ["phase_counts"] with span counts).  Self-contained — no JSON

@@ -1,0 +1,4 @@
+(* layering fixture: nothing under lib/ may reach up into the
+   distributed control plane (only the service daemon, bin/ and the
+   tests sit above it) *)
+let phase = Distproto.Journal.Empty

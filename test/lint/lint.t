@@ -35,6 +35,14 @@ Rule "layering" — the substrate must not reach up into core:
   fixtures/lib/mgraph/bad_layering.ml:2 layering library "mgraph" must not depend on "migration" (via module Migration) — architecture DAG violation
   [1]
 
+Rule "layering" — the coordinator/worker split: the distributed
+control plane may use core+exec, but nothing under lib/ may use it
+back (only the service daemon, bin/ and the tests sit above it):
+
+  $ lint --rules layering fixtures/lib/core/bad_dist.ml
+  fixtures/lib/core/bad_dist.ml:4 layering library "migration" must not depend on "distproto" (via module Distproto) — architecture DAG violation
+  [1]
+
 Rule "exception" — catch-alls that swallow:
 
   $ lint --rules exception fixtures/lib/core/bad_swallow.ml
@@ -81,7 +89,7 @@ Random.int and the annotated Hashtbl produce no findings:
 The whole corpus at once, all rules — the summary exercised by CI:
 
   $ lint fixtures | wc -l
-  30
+  32
   $ lint fixtures > /dev/null
   [1]
 

@@ -113,6 +113,48 @@ let test_regression_service file () =
   | Error msgs ->
       Alcotest.failf "%s: service soak: %s" file (String.concat "; " msgs)
 
+(* distributed-soak reproducers (written by `migrate fuzz
+   --distributed` as <family>_s<seed>_dist.inst) land here too: replay
+   each regression through a fault-free coordinator/worker run — it
+   must converge to a certifier-clean flight log byte-identical to the
+   in-process engine's.  Safe to fork: every test in this binary plans
+   with jobs=1, so no domain has ever been spawned. *)
+let test_regression_distributed file () =
+  let inst = load_file (Filename.concat regressions_dir file) in
+  let state_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "corpus_dist.%d.%s" (Unix.getpid ()) file)
+  in
+  let cleanup () =
+    if Sys.file_exists state_dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat state_dir f) with _ -> ())
+        (Sys.readdir state_dir);
+      try Sys.rmdir state_dir with _ -> ()
+    end
+  in
+  cleanup ();
+  Fun.protect ~finally:cleanup @@ fun () ->
+  match
+    Distproto.Runner.run ~workers:2 ~seed:1 ~state_dir inst
+  with
+  | Error msg -> Alcotest.failf "%s: distributed run: %s" file msg
+  | Ok (Distproto.Runner.Interrupted _) ->
+      Alcotest.failf "%s: distributed run interrupted without a kill" file
+  | Ok (Distproto.Runner.Completed o) ->
+      let v = M.Certify.certify_execution o.Distproto.Runner.execution in
+      if not (M.Certify.exec_ok v) then
+        Alcotest.failf "%s: distributed flight log failed certification" file;
+      let reference =
+        M.Engine.run
+          ~rng:(Distproto.Runner.plan_rng 1)
+          ~jobs:1 ~policy:M.Engine.no_faults inst
+      in
+      Alcotest.(check string)
+        (file ^ " distributed flight log matches the engine")
+        (M.Certify.execution_to_string reference.M.Engine.execution)
+        (M.Certify.execution_to_string o.Distproto.Runner.execution)
+
 let test_corpus_roundtrips () =
   List.iter
     (fun (file, _, _, _) ->
@@ -144,6 +186,8 @@ let () =
               Alcotest.test_case file `Quick (test_regression file);
               Alcotest.test_case (file ^ " (service soak)") `Quick
                 (test_regression_service file);
+              Alcotest.test_case (file ^ " (distributed)") `Quick
+                (test_regression_distributed file);
             ])
           regression_files );
     ]

@@ -214,11 +214,29 @@ let test_fuzz_jobs_independent () =
   let rp = string_of_report (run jobs_hi) in
   Alcotest.(check string) "byte-identical reports" r1 rp
 
+(* default_jobs reads MIGRATE_JOBS exactly once per process: a worker
+   process that mutates the env mid-run (putenv is not thread-safe
+   either) must not make two calls observe different job counts.  The
+   regression: it used to re-read the env on every call. *)
+let test_default_jobs_memoized () =
+  let before = Exec.default_jobs () in
+  let saved = Option.value (Sys.getenv_opt "MIGRATE_JOBS") ~default:"" in
+  Unix.putenv "MIGRATE_JOBS" (string_of_int (before + 7));
+  Fun.protect ~finally:(fun () -> Unix.putenv "MIGRATE_JOBS" saved)
+  @@ fun () ->
+  Alcotest.(check int) "env mutation after first call is invisible" before
+    (Exec.default_jobs ());
+  Unix.putenv "MIGRATE_JOBS" "garbage";
+  Alcotest.(check int) "unparsable mutation is invisible too" before
+    (Exec.default_jobs ())
+
 let () =
   Alcotest.run "parallel"
     [
       ( "exec",
         [
+          Alcotest.test_case "default_jobs memoized" `Quick
+            test_default_jobs_memoized;
           qtest "Exec.map = List.map" ~count:100 list_gen
             prop_map_matches_list_map;
           Alcotest.test_case "edge cases" `Quick test_map_edge_cases;

@@ -50,18 +50,22 @@ let allowed =
         "mgraph"; "netflow"; "coloring"; "probes"; "exec"; "migration";
         "storsim";
       ] );
+    (* the coordinator/worker split: the distributed control plane
+       executes certified plans over real processes, so it may use the
+       core planning stack and the exec substrate — and nothing under
+       lib/ may use it back except the service daemon.  Keeping storsim
+       and workloads out of dist keeps the worker side mechanical: it
+       receives shards, it does not invent scenarios *)
     ( "distproto",
-      [
-        "mgraph"; "netflow"; "coloring"; "probes"; "exec"; "migration";
-        "storsim";
-      ] );
+      [ "mgraph"; "netflow"; "coloring"; "probes"; "exec"; "migration" ] );
     (* the streaming daemon sits at the top of the library DAG: it may
-       drive the engine, simulation faults, and workload re-layouts,
-       but no library depends back on it — only bin/ and the tests *)
+       drive the engine, simulation faults, workload re-layouts, and
+       the distributed control plane, but no library depends back on
+       it — only bin/ and the tests *)
     ( "service",
       [
         "mgraph"; "netflow"; "coloring"; "probes"; "exec"; "migration";
-        "storsim"; "workloads";
+        "storsim"; "workloads"; "distproto";
       ] );
   ]
 
