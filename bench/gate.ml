@@ -345,6 +345,44 @@ let () =
            (List.map
               (fun (w, o) -> Printf.sprintf " N=%d %.1fx" w o)
               (overheads 0 []))));
+  (* E14 SLA: identical_schedules is swept above; the section must not
+     vanish once the baseline has it, and the reordering post-pass must
+     still be makespan-preserving (reordered rounds == baseline rounds
+     in the artifact itself, not just in bench's in-process assert) *)
+  let sla_section text = section text ~key:"sla" ~open_:'{' ~close:'}' in
+  let sla_variant body name key =
+    match find_from body (Printf.sprintf "\"name\": %S" name) 0 with
+    | None -> None
+    | Some i -> scrape_float body ~key ~from:i
+  in
+  (match (sla_section base, sla_section cur) with
+  | None, None -> ()
+  | Some _, None ->
+      Printf.printf "\nsla: section missing from current — REGRESSION\n";
+      failed := true
+  | _, Some body -> (
+      let v name key = sla_variant body name key in
+      match
+        ( v "baseline" "rounds", v "reordered" "rounds",
+          v "baseline" "weighted_sum", v "sla-greedy" "weighted_sum",
+          v "sla-greedy" "rounds" )
+      with
+      | Some br, Some rr, Some bw, Some gw, Some gr ->
+          if rr <> br then begin
+            Printf.printf
+              "\nsla: reorder changed the makespan (%.0f -> %.0f rounds) — \
+               REGRESSION\n"
+              br rr;
+            failed := true
+          end
+          else
+            Printf.printf
+              "\nsla: weighted sum %.0f -> %.0f (sla-greedy), makespan \
+               preserved by reorder; price of fairness %+.0f rounds\n"
+              bw gw (gr -. br)
+      | _ ->
+          Printf.printf "\nsla: section malformed — REGRESSION\n";
+          failed := true));
   if !failed then begin
     Printf.printf "\nGATE FAILED\n";
     exit 1

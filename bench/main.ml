@@ -1215,10 +1215,10 @@ let e12_serve () =
   let cluster = { Service.caps; placement; demands } in
   let requests =
     [
-      { Service.at = 0; trigger = Service.Demand_shift { fraction = 0.08 } };
-      { Service.at = 50; trigger = Service.Add_disk { cap = 4 } };
-      { Service.at = 120; trigger = Service.Demand_shift { fraction = 0.05 } };
-      { Service.at = 200; trigger = Service.Remove_disk { disk = 3 } };
+      { Service.at = 0; tenant = 0; trigger = Service.Demand_shift { fraction = 0.08 } };
+      { Service.at = 50; tenant = 0; trigger = Service.Add_disk { cap = 4 } };
+      { Service.at = 120; tenant = 0; trigger = Service.Demand_shift { fraction = 0.05 } };
+      { Service.at = 200; tenant = 0; trigger = Service.Remove_disk { disk = 3 } };
     ]
   in
   Printf.printf
@@ -1427,6 +1427,105 @@ let e13_distributed () =
       ( M.Instance.n_items inst, reference.M.Engine.total_rounds, engine_t,
         runs, !identical )
 
+(* ------------------------------------------------------------------ *)
+(* E14 (CLI key "sla"): weighted group completion vs the               *)
+(* round-optimal baseline                                              *)
+
+(* stashed by the SLA experiment for the --json writer:
+   (groups, items, per-variant (name, rounds, weighted_sum, p99, wall),
+    identical) *)
+let sla_detail :
+    (int * int * (string * int * int * int * float) list * bool) option ref =
+  ref None
+
+let e14_sla () =
+  header "E14 [sla]  weighted group completion vs the round-optimal baseline";
+  let fam =
+    match Gen.family_of_string "tenants" with
+    | Some f -> f
+    | None -> failwith "e14: tenants family not registered"
+  in
+  let inst = Gen.instance fam ~seed:941 ~size:64 in
+  let k = M.Instance.n_groups inst in
+  let m = M.Instance.n_items inst in
+  Printf.printf "tenants family, seed 941: %d items, %d groups, weights %s\n\n"
+    m k
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int (M.Instance.weights inst))));
+  (* the round-optimal baseline: the auto pipeline, blind to groups *)
+  let plan jobs =
+    fst
+      (M.Pipeline.solve ~rng:(rng_of 942) ~jobs ~choose:M.Pipeline.auto_choose
+         inst)
+  in
+  ignore (plan 1);
+  (* warm up before timing *)
+  let certify name ~solver ~reordered sched =
+    fail_invalid inst sched ("e14 " ^ name);
+    let v =
+      M.Certify.check_sla inst sched (M.Objective.claim ~solver ~reordered inst sched)
+    in
+    if not (M.Certify.sla_ok v) then
+      failwith (Printf.sprintf "e14: %s failed SLA certification" name)
+  in
+  let stats sched =
+    let _, p99 = M.Objective.completion_percentiles inst sched in
+    (M.Schedule.n_rounds sched, M.Objective.weighted_sum inst sched, p99)
+  in
+  let base, base_t = wall_clock (fun () -> plan 1) in
+  certify "baseline" ~solver:"auto" ~reordered:false base;
+  (* the post-pass must be a pure round permutation at every --jobs:
+     byte-compare the reordered schedule across worker counts *)
+  let reordered, reorder_t =
+    wall_clock (fun () -> M.Objective.reorder inst (plan 1))
+  in
+  certify "reordered" ~solver:"auto" ~reordered:true reordered;
+  let identical =
+    List.for_all
+      (fun jobs ->
+        M.Schedule.to_string (M.Objective.reorder inst (plan jobs))
+        = M.Schedule.to_string reordered)
+      [ 1; 2; 4 ]
+  in
+  if not identical then
+    failwith "e14: reordered schedule differs across --jobs";
+  let greedy_sched, greedy_t =
+    wall_clock (fun () ->
+        M.Objective.reorder inst
+          (M.Solver.solve ~rng:(rng_of 943) M.Objective.sla_greedy inst))
+  in
+  certify "sla-greedy" ~solver:"sla-greedy" ~reordered:true greedy_sched;
+  let br, bw, bp = stats base in
+  if M.Schedule.n_rounds reordered <> br then
+    failwith "e14: reorder changed the makespan";
+  let variants =
+    [
+      ("baseline", base, base_t);
+      ("reordered", reordered, base_t +. reorder_t);
+      ("sla-greedy", greedy_sched, greedy_t);
+    ]
+  in
+  Printf.printf "%12s %8s %14s %6s %10s\n" "variant" "rounds" "weighted sum"
+    "p99" "wall (s)";
+  let rows =
+    List.map
+      (fun (name, sched, t) ->
+        let rounds, wsum, p99 = stats sched in
+        Printf.printf "%12s %8d %14d %6d %10.3f\n" name rounds wsum p99 t;
+        (name, rounds, wsum, p99, t))
+      variants
+  in
+  let gr, gw, gp =
+    match rows with
+    | [ _; _; (_, r, w, p, _) ] -> (r, w, p)
+    | _ -> assert false
+  in
+  Printf.printf
+    "\nprice of fairness: %+d rounds for %+d weighted sum, p99 %d -> %d\n\
+     reordered schedule bit-identical across jobs; all variants certified\n\n"
+    (gr - br) (gw - bw) bp gp;
+  sla_detail := Some (k, m, rows, identical)
+
 let experiments =
   [
     ("fig1", e1_fig1);
@@ -1459,6 +1558,7 @@ let experiments =
     ("engine", e10_engine);
     ("serve", e12_serve);
     ("distributed", e13_distributed);
+    ("sla", e14_sla);
   ]
 
 (* --json: the perf-regression baseline.  Handwritten like
@@ -1466,7 +1566,7 @@ let experiments =
 let write_json ~path timings =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": \"pr8\",\n";
+  Buffer.add_string buf "  \"bench\": \"pr9\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"recommended_domains\": %d,\n" (Exec.default_jobs ()));
   Buffer.add_string buf "  \"experiments\": [\n";
@@ -1590,6 +1690,29 @@ let write_json ~path timings =
       (* the gate's all-occurrences identical_schedules sweep picks
          this up: here it asserts the distributed flight log
          byte-matched the in-process engine at every worker count *)
+      Buffer.add_string buf
+        (Printf.sprintf "    \"identical_schedules\": %b\n  }" identical));
+  (match !sla_detail with
+  | None -> ()
+  | Some (groups, items, rows, identical) ->
+      Buffer.add_string buf ",\n  \"sla\": {\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    \"groups\": %d,\n    \"items\": %d,\n" groups
+           items);
+      Buffer.add_string buf "    \"variants\": [\n";
+      List.iteri
+        (fun i (name, rounds, wsum, p99, t) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      { \"name\": %S, \"rounds\": %d, \"weighted_sum\": %d, \
+                \"p99_completion\": %d, \"wall_s\": %.6f }%s\n"
+               name rounds wsum p99 t
+               (if i = List.length rows - 1 then "" else ",")))
+        rows;
+      Buffer.add_string buf "    ],\n";
+      (* the gate's all-occurrences identical_schedules sweep picks
+         this up: the reordering post-pass was byte-identical at
+         --jobs 1/2/4 *)
       Buffer.add_string buf
         (Printf.sprintf "    \"identical_schedules\": %b\n  }" identical));
   Buffer.add_string buf "\n}\n";

@@ -73,6 +73,10 @@ let instance_arg =
   let doc = "Instance file ('-' for stdin)." in
   Arg.(value & pos 0 string "-" & info [] ~docv:"INSTANCE" ~doc)
 
+(* generated from [all_algorithms], so it cannot go stale *)
+let algorithm_names =
+  List.map Migration.algorithm_to_string Migration.all_algorithms
+
 let algorithm_conv =
   let parse s =
     match Migration.algorithm_of_string s with
@@ -80,15 +84,15 @@ let algorithm_conv =
     | None ->
         Error
           (`Msg
-            (Printf.sprintf
-               "unknown algorithm %S (auto|even-opt|hetero|saia|greedy|orbits)"
-               s))
+            (Printf.sprintf "unknown algorithm %S (%s)" s
+               (String.concat "|" algorithm_names)))
   in
   Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (Migration.algorithm_to_string a))
 
 let algorithm_arg =
   let doc =
-    "Scheduling algorithm: auto, even-opt, hetero, saia, greedy or orbits."
+    Printf.sprintf "Scheduling algorithm: %s."
+      (String.concat ", " algorithm_names)
   in
   Arg.(value & opt algorithm_conv Migration.Auto & info [ "a"; "algorithm" ] ~docv:"ALG" ~doc)
 
@@ -154,10 +158,14 @@ let size_arg =
   Arg.(value & opt int 12 & info [ "size" ] ~docv:"SIZE" ~doc)
 
 let family_arg =
+  (* the list is generated, not typed out, so it cannot go stale when
+     a family is added *)
   let doc =
-    "Fuzz-family generator (uniform, powerlaw, even, unit, parallel, \
-     bottleneck, multipool); overrides $(b,--kind).  The (family, seed, \
-     size) triple reproduces the exact instance a fuzz failure names."
+    Printf.sprintf
+      "Fuzz-family generator (%s); overrides $(b,--kind).  The (family, \
+       seed, size) triple reproduces the exact instance a fuzz failure \
+       names."
+      (String.concat ", " Gen.names)
   in
   Arg.(
     value & opt (some family_conv) None & info [ "family" ] ~docv:"FAMILY" ~doc)
@@ -203,7 +211,7 @@ let bounds_cmd =
 (* ------------------------------------------------------------------ *)
 (* plan *)
 
-let plan path alg seed jobs quiet save metrics metrics_json verbose =
+let plan path alg objective seed jobs quiet save metrics metrics_json verbose =
   setup_logs verbose;
   let inst = read_instance path in
   let rng = rng_of_seed seed in
@@ -214,12 +222,46 @@ let plan path alg seed jobs quiet save metrics metrics_json verbose =
   | Error msg ->
       Printf.eprintf "internal error: invalid schedule: %s\n" msg;
       exit 1);
+  (* group-ct: permute rounds so groups complete in priority order —
+     the makespan (and hence every line below) is unchanged *)
+  let sched =
+    match objective with
+    | `Makespan -> sched
+    | `Group_ct -> Migration.Objective.reorder inst sched
+  in
   Printf.printf "algorithm:   %s\n" (Migration.algorithm_to_string alg);
+  Printf.printf "objective:   %s\n"
+    (match objective with `Makespan -> "makespan" | `Group_ct -> "group-ct");
   Printf.printf "rounds:      %d\n" (Migration.Schedule.n_rounds sched);
   Printf.printf "lower bound: %d\n"
     (Migration.Lower_bounds.lower_bound ~rng inst);
   Printf.printf "utilization: %.2f\n"
     (Migration.Schedule.utilization inst sched);
+  (match objective with
+  | `Makespan -> ()
+  | `Group_ct ->
+      let module O = Migration.Objective in
+      let completions = O.completion_rounds inst sched in
+      Array.iter
+        (fun g ->
+          Printf.printf "group %d:     w=%d C=%d\n" g
+            (Migration.Instance.weight inst g)
+            completions.(g))
+        (O.priority_order inst);
+      Printf.printf "weighted sum: %d\n" (O.weighted_sum inst sched);
+      let p50, p99 = O.completion_percentiles inst sched in
+      Printf.printf "completion:  p50=%d p99=%d rounds\n" p50 p99;
+      O.observe inst sched;
+      (* audit our own claim with the independent certifier, exactly
+         as the fuzz loop would *)
+      let claim =
+        O.claim
+          ~solver:(Migration.algorithm_to_string alg)
+          ~reordered:true inst sched
+      in
+      let v = Migration.Certify.check_sla inst sched claim in
+      Format.printf "%a@." Migration.Certify.pp_sla v;
+      if not (Migration.Certify.sla_ok v) then exit 1);
   (match save with
   | None -> ()
   | Some path ->
@@ -229,6 +271,18 @@ let plan path alg seed jobs quiet save metrics metrics_json verbose =
       Printf.printf "saved to %s\n" path);
   if not quiet then Format.printf "%a@." Migration.Schedule.pp sched;
   report_metrics ~metrics ~metrics_json
+
+let objective_arg =
+  let doc =
+    "Planning objective: $(b,makespan) (the paper's rounds-to-finish) or \
+     $(b,group-ct) (SLA view: apply the priority reordering post-pass, \
+     report per-group completion rounds, the weighted sum w_g*C_g and \
+     p50/p99, and audit the claim with the independent SLA certifier)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("makespan", `Makespan); ("group-ct", `Group_ct) ]) `Makespan
+    & info [ "objective" ] ~docv:"OBJ" ~doc)
 
 let plan_cmd =
   let quiet =
@@ -242,8 +296,8 @@ let plan_cmd =
   let doc = "Compute a migration schedule for an instance." in
   Cmd.v (Cmd.info "plan" ~doc)
     Term.(
-      const plan $ instance_arg $ algorithm_arg $ seed_arg $ jobs_arg $ quiet
-      $ save $ metrics_arg $ metrics_json_arg $ verbose_arg)
+      const plan $ instance_arg $ algorithm_arg $ objective_arg $ seed_arg
+      $ jobs_arg $ quiet $ save $ metrics_arg $ metrics_json_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare *)
@@ -1096,9 +1150,10 @@ let fuzz families count seed size jobs fault_rate service distributed
 let fuzz_cmd =
   let families =
     let doc =
-      "Comma-separated families to fuzz (default: all of uniform, powerlaw, \
-       even, unit, parallel, bottleneck, multipool).  An unknown name is a \
-       parse error listing the valid families."
+      Printf.sprintf
+        "Comma-separated families to fuzz (default: all of %s).  An unknown \
+         name is a parse error listing the valid families."
+        (String.concat ", " Gen.names)
     in
     Arg.(
       value

@@ -747,3 +747,123 @@ let pp_exec ppf v =
         (fun x -> Format.fprintf ppf "@,  - %s" (exec_violation_to_string x))
         vs;
       Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* SLA certification: auditing a planner's per-group completion
+   claims.  Everything is re-derived from the (instance, schedule)
+   pair with no code shared with [Objective] — a planner cannot
+   certify its own completion table. *)
+
+type sla_claim = {
+  sla_solver : string option;
+  sla_reordered : bool;
+  sla_completions : (int * int) list;
+  sla_weighted_sum : int;
+}
+
+type sla_violation =
+  | Sla_completion_mismatch of { group : int; claimed : int; derived : int }
+  | Sla_weighted_sum_mismatch of { claimed : int; derived : int }
+  | Sla_priority_inversion of { group : int; late : int; tolerance : int }
+
+type sla_verdict = {
+  sla_groups : int;
+  sla_derived_sum : int;
+  sla_violations : sla_violation list;
+}
+
+let sla_ok v = v.sla_violations = []
+
+let check_sla ?(tolerance = 0) inst sched claim =
+  let k = Instance.n_groups inst in
+  let rounds = Schedule.rounds sched in
+  (* independent re-derivation of every group's completion round *)
+  let derived = Array.make k 0 in
+  Array.iteri
+    (fun i items ->
+      List.iter
+        (fun e ->
+          let g = Instance.group inst e in
+          if g >= 0 && g < k then derived.(g) <- i + 1)
+        items)
+    rounds;
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  List.iter
+    (fun (g, c) ->
+      let d = if g >= 0 && g < k then derived.(g) else 0 in
+      if c <> d then
+        add (Sla_completion_mismatch { group = g; claimed = c; derived = d }))
+    claim.sla_completions;
+  let derived_sum = ref 0 in
+  Array.iteri
+    (fun g c -> derived_sum := !derived_sum + (Instance.weight inst g * c))
+    derived;
+  if claim.sla_weighted_sum <> !derived_sum then
+    add
+      (Sla_weighted_sum_mismatch
+         { claimed = claim.sla_weighted_sum; derived = !derived_sum });
+  (* A priority-reordered schedule never makes a group wait on rounds
+     that serve only strictly lower-priority groups; [tolerance] rounds
+     of such delay are forgiven per group. *)
+  if claim.sla_reordered then begin
+    let rank = Array.make k 0 in
+    let order = Array.init k Fun.id in
+    Array.sort
+      (fun a b ->
+        match compare (Instance.weight inst b) (Instance.weight inst a) with
+        | 0 -> compare a b
+        | c -> c)
+      order;
+    Array.iteri (fun i g -> rank.(g) <- i) order;
+    let best =
+      Array.map
+        (fun items ->
+          List.fold_left
+            (fun acc e -> min acc rank.(Instance.group inst e))
+            max_int items)
+        rounds
+    in
+    Array.iteri
+      (fun g c ->
+        if c > 0 then begin
+          let late = ref 0 in
+          for i = 0 to c - 1 do
+            if best.(i) > rank.(g) then incr late
+          done;
+          if !late > tolerance then
+            add (Sla_priority_inversion { group = g; late = !late; tolerance })
+        end)
+      derived
+  end;
+  {
+    sla_groups = k;
+    sla_derived_sum = !derived_sum;
+    sla_violations = List.rev !violations;
+  }
+
+let sla_violation_to_string = function
+  | Sla_completion_mismatch { group; claimed; derived } ->
+      Printf.sprintf
+        "group %d: claimed completion round %d, flight log says %d" group
+        claimed derived
+  | Sla_weighted_sum_mismatch { claimed; derived } ->
+      Printf.sprintf "claimed weighted sum %d, flight log says %d" claimed
+        derived
+  | Sla_priority_inversion { group; late; tolerance } ->
+      Printf.sprintf
+        "group %d delayed by %d lower-priority round(s) (tolerance %d)" group
+        late tolerance
+
+let pp_sla ppf v =
+  match v.sla_violations with
+  | [] ->
+      Format.fprintf ppf "sla certified: %d groups, weighted sum %d"
+        v.sla_groups v.sla_derived_sum
+  | vs ->
+      Format.fprintf ppf "@[<v>SLA REJECTED: %d groups, weighted sum %d"
+        v.sla_groups v.sla_derived_sum;
+      List.iter
+        (fun x -> Format.fprintf ppf "@,  - %s" (sla_violation_to_string x))
+        vs;
+      Format.fprintf ppf "@]"

@@ -267,3 +267,50 @@ val certify_service : service_execution -> service_verdict
 val service_request_status_to_string : service_request_status -> string
 val service_violation_to_string : service_violation -> string
 val pp_service : Format.formatter -> service_verdict -> unit
+
+(** {1 SLA certification}
+
+    When an instance is tenant-tagged, a planner (or the
+    {!Objective.reorder} post-pass) claims a completion round [C_g]
+    per group and the weighted sum [sum_g w_g * C_g].
+    {!check_sla} audits the claim against the actual rounds — every
+    [C_g] re-derived from scratch, sharing no code with [Objective] —
+    and, for schedules claiming the priority reordering, the
+    no-inversion invariant: no group waits on rounds that serve only
+    strictly lower-priority groups (priority = weight descending,
+    group id ascending). *)
+
+type sla_claim = {
+  sla_solver : string option;  (** planner that produced the schedule *)
+  sla_reordered : bool;
+      (** claim the priority-reordering invariant (audited when set) *)
+  sla_completions : (int * int) list;  (** [(group, claimed C_g)] *)
+  sla_weighted_sum : int;              (** claimed [sum_g w_g * C_g] *)
+}
+
+type sla_violation =
+  | Sla_completion_mismatch of { group : int; claimed : int; derived : int }
+      (** claimed [C_g] disagrees with the flight log (out-of-range
+          group ids derive [0]) *)
+  | Sla_weighted_sum_mismatch of { claimed : int; derived : int }
+  | Sla_priority_inversion of { group : int; late : int; tolerance : int }
+      (** a reordered-claiming schedule delayed [group] behind [late]
+          rounds serving only strictly lower-priority groups *)
+
+type sla_verdict = {
+  sla_groups : int;
+  sla_derived_sum : int;       (** re-derived [sum_g w_g * C_g] *)
+  sla_violations : sla_violation list;  (** empty iff certified *)
+}
+
+val sla_ok : sla_verdict -> bool
+
+(** [check_sla ?tolerance inst sched claim] audits [claim] against
+    [sched]'s rounds.  [tolerance] (default [0]) forgives that many
+    lower-priority-only rounds per group in the inversion check, which
+    runs only when [claim.sla_reordered] is set. *)
+val check_sla :
+  ?tolerance:int -> Instance.t -> Schedule.t -> sla_claim -> sla_verdict
+
+val sla_violation_to_string : sla_violation -> string
+val pp_sla : Format.formatter -> sla_verdict -> unit

@@ -9,9 +9,22 @@
 type t
 
 (** [create g ~caps] validates and packs an instance.
+
+    [?groups] tags edge [e] with tenant/group id [groups.(e)];
+    [?weights] gives each group's SLA priority weight ([>= 1], length
+    = number of groups).  Omitting [weights] defaults every group to
+    weight one; omitting both yields an untagged instance (one
+    implicit group of weight one).
     @raise Invalid_argument if [caps] has wrong length, some capacity
-    is [< 1], or [g] contains a self-loop. *)
-val create : Mgraph.Multigraph.t -> caps:int array -> t
+    is [< 1], [g] contains a self-loop, [groups]/[weights] have wrong
+    lengths or out-of-range values, or [weights] is given without
+    [groups]. *)
+val create :
+  ?groups:int array ->
+  ?weights:int array ->
+  Mgraph.Multigraph.t ->
+  caps:int array ->
+  t
 
 (** All disks share one constraint — the homogeneous special case. *)
 val uniform : Mgraph.Multigraph.t -> cap:int -> t
@@ -27,6 +40,24 @@ val caps : t -> int array
 val n_disks : t -> int
 val n_items : t -> int
 
+(** True iff the instance carries explicit tenant/group tags. *)
+val tagged : t -> bool
+
+(** Number of tenant groups; [1] for untagged instances. *)
+val n_groups : t -> int
+
+(** [group t e] is edge [e]'s group id ([0] when untagged). *)
+val group : t -> int -> int
+
+(** [weight t g] is group [g]'s SLA weight ([1] when untagged). *)
+val weight : t -> int -> int
+
+(** Per-edge group ids, length {!n_items} (all zero when untagged). *)
+val groups : t -> int array
+
+(** Per-group weights, length {!n_groups} ([[|1|]] when untagged). *)
+val weights : t -> int array
+
 (** True iff every [c_v] is even — the polynomially-optimal case of
     the paper's Section IV. *)
 val all_caps_even : t -> bool
@@ -36,7 +67,10 @@ val all_caps_even : t -> bool
 val degree_ratio : t -> int -> int
 
 (** Serialization: header ["n m"], a line of [n] capacities, then [m]
-    edge lines — the format the CLI reads and writes. *)
+    edge lines — the format the CLI reads and writes.  Untagged
+    instances render byte-identically to the legacy format.  Tagged
+    instances insert ["groups k"] plus a line of [k] weights after the
+    capacities and emit ["u v g"] edge triples. *)
 val to_string : t -> string
 
 (** @raise Failure on malformed input. *)
@@ -58,7 +92,8 @@ type component = {
     round trip).  A connected instance decomposes into one component
     whose [instance] is [t] itself and whose maps are the identity.
     Order follows {!Mgraph.Traversal.components} (discovery order by
-    node id). *)
+    node id).  Group tags survive: each component keeps its edges'
+    global group ids and the full weight table. *)
 val decompose : t -> component list
 
 val pp : Format.formatter -> t -> unit

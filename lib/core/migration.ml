@@ -22,6 +22,7 @@ module Orbits = Orbits
 module Diagnostics = Diagnostics
 module Deadline = Deadline
 module Solver = Solver
+module Objective = Objective
 module Pipeline = Pipeline
 module Instr = Instr
 module Certify = Certify
@@ -42,6 +43,9 @@ type algorithm =
       (** Section V-C1 realized through the explicit orbit/witness
           structures ({!Orbits.color_via_orbits}); structurally
           faithful, slower than {!Hetero}. *)
+  | Sla_greedy
+      (** first-fit in weighted-group priority order — the
+          [sum w_g * C_g] heuristic of {!Objective}. *)
 
 let algorithm_to_string = function
   | Auto -> "auto"
@@ -50,6 +54,7 @@ let algorithm_to_string = function
   | Saia_split -> "saia"
   | Greedy -> "greedy"
   | Orbit_driven -> "orbits"
+  | Sla_greedy -> "sla-greedy"
 
 let algorithm_of_string = function
   | "auto" -> Some Auto
@@ -58,9 +63,11 @@ let algorithm_of_string = function
   | "saia" -> Some Saia_split
   | "greedy" -> Some Greedy
   | "orbits" -> Some Orbit_driven
+  | "sla-greedy" -> Some Sla_greedy
   | _ -> None
 
-let all_algorithms = [ Auto; Even_opt; Hetero; Saia_split; Greedy; Orbit_driven ]
+let all_algorithms =
+  [ Auto; Even_opt; Hetero; Saia_split; Greedy; Orbit_driven; Sla_greedy ]
 
 (** The {!Solver.t} behind each legacy variant.  [Auto] is the
     decompose/solve/merge pipeline ({!Pipeline.auto}); the others are
@@ -72,6 +79,7 @@ let solver_of_algorithm = function
   | Saia_split -> Solver.saia
   | Greedy -> Solver.greedy
   | Orbit_driven -> Solver.orbits
+  | Sla_greedy -> Objective.sla_greedy
 
 (** [plan ?rng alg inst] computes a feasible schedule.  Every algorithm
     returns a schedule that passes {!Schedule.validate}; they differ

@@ -22,6 +22,7 @@ module Orbits = Orbits
 module Diagnostics = Diagnostics
 module Deadline = Deadline
 module Solver = Solver
+module Objective = Objective
 module Pipeline = Pipeline
 module Instr = Instr
 module Certify = Certify
@@ -42,6 +43,9 @@ type algorithm =
       (** Section V-C1 realized through the explicit orbit/witness
           structures ({!Orbits.color_via_orbits}); structurally
           faithful, slower than {!Hetero}. *)
+  | Sla_greedy
+      (** first-fit in weighted-group priority order — the
+          [sum w_g * C_g] heuristic of {!Objective}. *)
 
 val algorithm_to_string : algorithm -> string
 val algorithm_of_string : string -> algorithm option

@@ -24,17 +24,33 @@ let rebuild inst keep_edge =
   if !n' = 0 then None
   else begin
     let g' = Multigraph.create ~n:!n' () in
+    let kept_groups = ref [] in
     Multigraph.iter_edges g (fun { Multigraph.id; u; v } ->
-        if keep_edge id then ignore (Multigraph.add_edge g' remap.(u) remap.(v)));
+        if keep_edge id then begin
+          ignore (Multigraph.add_edge g' remap.(u) remap.(v));
+          kept_groups := Instance.group inst id :: !kept_groups
+        end);
     let caps = Array.make !n' 1 in
     for v = 0 to n - 1 do
       if used.(v) then caps.(remap.(v)) <- Instance.cap inst v
     done;
-    Some (Instance.create g' ~caps)
+    (* group tags ride along so a shrunk SLA reproducer still fails
+       for the same reason; group ids (and the weight table) stay
+       global to keep the tags comparable with the original *)
+    if Instance.tagged inst then
+      Some
+        (Instance.create g' ~caps
+           ~groups:(Array.of_list (List.rev !kept_groups))
+           ~weights:(Instance.weights inst))
+    else Some (Instance.create g' ~caps)
   end
 
 let with_caps inst caps =
-  Instance.create (Multigraph.copy (Instance.graph inst)) ~caps
+  let g = Multigraph.copy (Instance.graph inst) in
+  if Instance.tagged inst then
+    Instance.create g ~caps ~groups:(Instance.groups inst)
+      ~weights:(Instance.weights inst)
+  else Instance.create g ~caps
 
 (* One pass of candidate reductions, largest first: delta-debugging
    style edge-chunk removal, then capacity halving (global, then per

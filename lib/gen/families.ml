@@ -117,6 +117,27 @@ let huge rng ~size =
   let m = 8 * n in
   Instance.random_caps rng (Graph_gen.gnm rng ~n ~m) ~choices:[ 2; 4 ]
 
+(* SLA regime: a mixed G(n,m) whose edges carry tenant/group tags.
+   Ownership is skewed (a min-of-two draw: a few big tenants own most
+   items) and priority weights are drawn 1..8, so weighted-completion
+   planners and the certifier's inversion check both get exercised. *)
+let tenants rng ~size =
+  let n = max 4 size in
+  let m = 3 * n in
+  let g = Graph_gen.gnm rng ~n ~m in
+  let k = 2 + Random.State.int rng 6 in
+  let weights = Array.init k (fun _ -> 1 + Random.State.int rng 8) in
+  let groups =
+    Array.init (Multigraph.n_edges g) (fun _ ->
+        let a = Random.State.int rng k and b = Random.State.int rng k in
+        min a b)
+  in
+  let menu = Array.of_list mixed_menu in
+  let caps =
+    Array.init n (fun _ -> menu.(Random.State.int rng (Array.length menu)))
+  in
+  Instance.create g ~caps ~groups ~weights
+
 let all =
   [
     { name = "uniform"; doc = "G(n,m) multigraph, mixed constraints"; build = uniform };
@@ -127,6 +148,7 @@ let all =
     { name = "bottleneck"; doc = "unit-cap odd clique: Gamma > LB1"; build = bottleneck };
     { name = "multipool"; doc = "disjoint pools, clashing cap styles"; build = multipool };
     { name = "huge"; doc = "perf-scale all-even G(n,m): ~8*size^2 edges"; build = huge };
+    { name = "tenants"; doc = "tenant-tagged G(n,m): skewed groups, SLA weights"; build = tenants };
   ]
 
 let names = List.map (fun f -> f.name) all

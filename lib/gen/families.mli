@@ -24,6 +24,10 @@
       ([size] is quadratic here so fuzz-range sizes stay cheap while
       bench sizes reach [1e5..1e6] edges): the flat-core allocation
       and wall-time regime of experiment E11.
+    - ["tenants"] — tenant-tagged [G(n, m)] with skewed group
+      ownership and priority weights 1..8: the SLA-objective regime
+      ({!Migration.Objective}), differential fuel for the reordering
+      post-pass and {!Migration.Certify.check_sla}.
 
     All generators are deterministic functions of an explicit RNG
     state; {!instance} fixes the standard seeding so a printed

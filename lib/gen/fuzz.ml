@@ -101,6 +101,49 @@ let fails_forwarding ~seed inst' =
   "exception: any raise at all is the failure this shrinking oracle \
    reproduces, so the catch-all maps it to true rather than swallowing it"]
 
+(* The SLA reorder differential: the priority post-pass must keep the
+   makespan (it only permutes rounds), the permuted schedule must
+   still certify on tagged instances, and its own completion claim
+   must survive [Certify.check_sla] — including the no-inversion
+   invariant the reordering promises. *)
+let reorder_messages ~lb inst sched =
+  let reordered = M.Objective.reorder inst sched in
+  let bad_makespan =
+    if M.Schedule.n_rounds reordered <> M.Schedule.n_rounds sched then
+      [
+        Printf.sprintf "reorder changed makespan: %d -> %d rounds"
+          (M.Schedule.n_rounds sched)
+          (M.Schedule.n_rounds reordered);
+      ]
+    else []
+  in
+  let bad_cert =
+    if M.Instance.tagged inst then begin
+      let v = M.Certify.check ~lb inst reordered in
+      if M.Certify.ok v then []
+      else
+        List.map
+          (fun x -> "reordered: " ^ M.Certify.violation_to_string x)
+          v.M.Certify.violations
+    end
+    else []
+  in
+  let bad_sla =
+    let claim = M.Objective.claim ~reordered:true inst reordered in
+    let v = M.Certify.check_sla inst reordered claim in
+    if M.Certify.sla_ok v then []
+    else
+      List.map
+        (fun x -> "sla: " ^ M.Certify.sla_violation_to_string x)
+        v.M.Certify.sla_violations
+  in
+  bad_makespan @ bad_cert @ bad_sla
+
+let fails_reorder name ~seed inst' =
+  match run_solver name ~seed inst' with
+  | None -> false
+  | Some sched -> reorder_messages ~lb:(lb_of ~seed inst') inst' sched <> []
+
 let shrink ~fails inst =
   if fails inst then M.Shrink.minimize ~fails inst else inst
 
@@ -147,7 +190,11 @@ let stats_of_tally solver t =
       so delta-debugging replays identically run to run. *)
 
 (* which deterministic re-check the (sequential) shrinker replays *)
-type shrink_kind = Shrink_cert | Shrink_beats_exact | Shrink_forwarding
+type shrink_kind =
+  | Shrink_cert
+  | Shrink_beats_exact
+  | Shrink_forwarding
+  | Shrink_reorder
 
 type cell_outcome = {
   co_solver : string;
@@ -250,12 +297,15 @@ let eval_cell ~sname ie =
                      rounds (M.Schedule.n_rounds o))
             | _ -> None
           in
+          let reorder_msgs = reorder_messages ~lb inst sched in
           {
-            (cell ~solver:sname (Option.to_list beats)) with
+            (cell ~solver:sname (Option.to_list beats @ reorder_msgs)) with
             co_gap = gap;
             co_elapsed = elapsed;
             co_shrink =
-              (if beats = None then None else Some Shrink_beats_exact);
+              (if beats <> None then Some Shrink_beats_exact
+               else if reorder_msgs <> [] then Some Shrink_reorder
+               else None);
           }
 
 let run ?(size = 12) ?solvers ?(exact_budget = 300_000) ?(exact_max_items = 10)
@@ -329,6 +379,8 @@ let run ?(size = 12) ?solvers ?(exact_budget = 300_000) ?(exact_max_items = 10)
             inst
     | Some Shrink_forwarding ->
         fun inst -> shrink ~fails:(fails_forwarding ~seed:iseed) inst
+    | Some Shrink_reorder ->
+        fun inst -> shrink ~fails:(fails_reorder sname ~seed:iseed) inst
   in
   let family_reports =
     List.map

@@ -8,7 +8,7 @@ type trigger =
   | Remove_disk of { disk : int }
   | Fail_disk of { disk : int }
 
-type request = { at : int; trigger : trigger }
+type request = { at : int; tenant : int; trigger : trigger }
 
 type cluster = {
   caps : int array;
@@ -28,6 +28,7 @@ type report = {
   latencies : (int * int) list;
   p50 : int;
   p99 : int;
+  tenants : (int * int * int * int) list;
   truncated : bool;
   execution : Certify.service_execution;
 }
@@ -88,6 +89,10 @@ let run ?(jobs = 1) ?(epoch_rounds = 16) ?(max_epochs = 100_000)
       if w < 0.0 || not (Float.is_finite w) then
         invalid_arg "Service.run: demands must be finite and >= 0")
     cluster.demands;
+  List.iter
+    (fun r ->
+      if r.tenant < 0 then invalid_arg "Service.run: tenant must be >= 0")
+    requests;
   let policy =
     match policy with
     | Some p -> p
@@ -583,6 +588,25 @@ let run ?(jobs = 1) ?(epoch_rounds = 16) ?(max_epochs = 100_000)
     Array.sort compare a;
     a
   in
+  (* the SLA view: the same latency population, split per tenant *)
+  let tenants =
+    let tenant_of_input =
+      Array.of_list (List.map (fun r -> r.tenant) requests)
+    in
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (i, lat) ->
+        let t = tenant_of_input.(i) in
+        Hashtbl.replace tbl t
+          (lat :: Option.value ~default:[] (Hashtbl.find_opt tbl t)))
+      latencies;
+    Hashtbl.fold (fun t lats acc -> (t, lats) :: acc) tbl []
+    |> List.sort compare
+    |> List.map (fun (t, lats) ->
+           let a = Array.of_list lats in
+           Array.sort compare a;
+           (t, Array.length a, percentile a 50.0, percentile a 99.0))
+  in
   {
     epochs = !epoch_count;
     total_rounds = !now;
@@ -595,6 +619,7 @@ let run ?(jobs = 1) ?(epoch_rounds = 16) ?(max_epochs = 100_000)
     latencies;
     p50 = percentile sorted_lat 50.0;
     p99 = percentile sorted_lat 99.0;
+    tenants;
     truncated;
     execution;
   }
@@ -624,6 +649,14 @@ let pp_report ppf r =
     "@,requests:    %d completed, %d abandoned, %d rejected@,\
      latency:     p50=%d p99=%d rounds"
     completed abandoned rejected r.p50 r.p99;
+  (* single-tenant streams (everything tagged 0) keep the legacy
+     report shape; any explicit tenant switches the breakdown on *)
+  if List.exists (fun (t, _, _, _) -> t <> 0) r.tenants then
+    List.iter
+      (fun (t, completed, p50, p99) ->
+        Format.fprintf ppf "@,tenant %d:    %d completed, p50=%d p99=%d rounds"
+          t completed p50 p99)
+      r.tenants;
   if r.truncated then Format.fprintf ppf "@,TRUNCATED: epoch budget exhausted";
   Format.fprintf ppf "@]"
 
@@ -710,12 +743,26 @@ let parse_trace lines =
                           go (lineno + 1) rest)
                   | _ -> err "line %d: bad disks/items counts" lineno)
               | _ -> err "line %d: init needs disks= and items=" lineno)
-          | "at" :: round :: what :: args -> (
+          | "at" :: round :: rest_words -> (
               match parse_int round with
               | None -> err "line %d: bad round" lineno
               | Some at -> (
+                  (* optional tenant=T tag before the trigger word *)
+                  let tenant, rest_words =
+                    match rest_words with
+                    | kv :: tl when parse_kv "tenant" kv <> None ->
+                        (Option.bind (parse_kv "tenant" kv) parse_int, tl)
+                    | _ -> (Some 0, rest_words)
+                  in
+                  match (tenant, rest_words) with
+                  | None, _ ->
+                      err "line %d: tenant wants a non-negative int" lineno
+                  | Some tenant, _ when tenant < 0 ->
+                      err "line %d: tenant wants a non-negative int" lineno
+                  | Some _, [] -> err "line %d: missing trigger" lineno
+                  | Some tenant, what :: args -> (
                   let push trigger =
-                    reqs := { at; trigger } :: !reqs;
+                    reqs := { at; tenant; trigger } :: !reqs;
                     go (lineno + 1) rest
                   in
                   match (what, args) with
@@ -749,7 +796,7 @@ let parse_trace lines =
                       match parse_int d with
                       | Some disk -> push (Fail_disk { disk })
                       | None -> err "line %d: bad disk" lineno)
-                  | _ -> err "line %d: unknown trigger %S" lineno what))
+                  | _ -> err "line %d: unknown trigger %S" lineno what)))
           | _ -> err "line %d: expected 'init ...' or 'at R ...'" lineno)
   in
   go 1 lines
@@ -808,22 +855,28 @@ let soak ?(jobs = 1) ?(epoch_rounds = 4) ?(fault_rate = 0.0) ~inst ~seed () =
         |> List.filteri (fun e _ -> e mod batches = b)
       in
       if batch <> [] then
-        reqs := { at = round_of b; trigger = Retarget batch } :: !reqs
+        reqs :=
+          { at = round_of b; tenant = b; trigger = Retarget batch } :: !reqs
     done;
     if Random.State.bool rng then
       reqs :=
-        { at = round_of batches; trigger = Demand_shift { fraction = 0.3 } }
+        {
+          at = round_of batches;
+          tenant = 0;
+          trigger = Demand_shift { fraction = 0.3 };
+        }
         :: !reqs;
     if n >= 3 && Random.State.int rng 4 = 0 then
       reqs :=
         {
           at = round_of (batches + 1);
+          tenant = 0;
           trigger = Fail_disk { disk = Random.State.int rng n };
         }
         :: !reqs;
     if Random.State.int rng 4 = 0 then
       reqs :=
-        { at = round_of (batches + 1); trigger = Add_disk { cap = 2 } }
+        { at = round_of (batches + 1); tenant = 0; trigger = Add_disk { cap = 2 } }
         :: !reqs;
     let requests =
       List.stable_sort (fun a b -> compare a.at b.at) (List.rev !reqs)

@@ -57,7 +57,10 @@ type trigger =
           patched to the ring-successor, in-flight moves toward it are
           abandoned *)
 
-type request = { at : int; trigger : trigger }
+(** [tenant] tags the request for per-tenant accounting ([>= 0]; use
+    [0] when tenancy does not matter — single-tenant reports omit the
+    per-tenant breakdown). *)
+type request = { at : int; tenant : int; trigger : trigger }
 
 (** Initial cluster state.  [caps] are per-disk transfer constraints
     ([c_v >= 1], also used as layout weights), [placement] maps item ->
@@ -82,6 +85,9 @@ type report = {
       (** [(input index, completion - arrival)] for completed requests *)
   p50 : int;  (** request-to-completion latency percentiles, rounds *)
   p99 : int;
+  tenants : (int * int * int * int) list;
+      (** per-tenant [(tenant, completed, p50, p99)] over the same
+          latencies, ascending tenant id — the SLA view of the stream *)
   truncated : bool;  (** [max_epochs] exhausted with work left *)
   execution : Migration.Certify.service_execution;
       (** the concatenated flight log {!Migration.Certify.certify_service}

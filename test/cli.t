@@ -23,6 +23,7 @@ CLI end-to-end: generate an instance, inspect bounds, plan, validate.
   lower bound: 4
   $ migrate plan -q -a hetero fig1.txt
   algorithm:   hetero
+  objective:   makespan
   rounds:      4
   lower bound: 4
   utilization: 0.56
@@ -39,6 +40,7 @@ CLI end-to-end: generate an instance, inspect bounds, plan, validate.
     component 0: 5 disks, 9 items -> hetero (4 rounds)
   $ migrate plan -q --save sched.txt fig1.txt
   algorithm:   auto
+  objective:   makespan
   rounds:      4
   lower bound: 4
   utilization: 0.56
@@ -56,6 +58,7 @@ CLI end-to-end: generate an instance, inspect bounds, plan, validate.
   $ migrate generate --disks 6 --items 12 --caps 2 --seed 7 > even.txt
   $ migrate plan -q -a even-opt even.txt
   algorithm:   even-opt
+  objective:   makespan
   rounds:      4
   lower bound: 4
   utilization: 0.50
@@ -112,7 +115,7 @@ Error handling:
 
   $ migrate plan -a nope fig1.txt 2>&1 | head -2
   migrate: option '-a': unknown algorithm "nope"
-           (auto|even-opt|hetero|saia|greedy|orbits)
+           (auto|even-opt|hetero|saia|greedy|orbits|sla-greedy)
   $ echo "bad" | migrate bounds - 2>&1; echo "exit: $?"
   error: not a valid instance: Instance.of_string: missing header
   exit: 2
@@ -157,22 +160,24 @@ independent certification, deterministic report.
   even         greedy           5     5        0  0:5
   even         orbits           5     5        0  0:5
   even         auto             5     5        0  0:5
+  even         sla-greedy       5     5        0  0:5
   even         forwarding       5     5        0  0:5
   powerlaw     hetero           5     5        0  0:5
   powerlaw     saia             5     5        0  0:5
   powerlaw     greedy           5     5        0  0:5
   powerlaw     orbits           5     5        0  0:5
   powerlaw     auto             5     5        0  0:5
+  powerlaw     sla-greedy       5     5        0  0:5
   powerlaw     forwarding       5     5        0  0:5
   
-  total: 10 instances, 65 solver runs, 0 failures
+  total: 10 instances, 75 solver runs, 0 failures
 
 An unknown family name lists the valid ones:
 
   $ migrate fuzz --families nope --count 1 2>&1; echo "exit: $?"
   migrate: option '--families': invalid element in list ('nope'): unknown
            family "nope" (expected one of
-           uniform|powerlaw|even|unit|parallel|bottleneck|multipool|huge)
+           uniform|powerlaw|even|unit|parallel|bottleneck|multipool|huge|tenants)
   Usage: migrate fuzz [OPTION]…
   Try 'migrate fuzz --help' or 'migrate --help' for more information.
   exit: 124
@@ -183,6 +188,7 @@ them on separate domains.
 
   $ migrate plan -q --jobs 2 two_pools.txt
   algorithm:   auto
+  objective:   makespan
   rounds:      3
   lower bound: 3
   utilization: 0.48
@@ -195,7 +201,7 @@ code is the certifier's verdict, not the domain's.
 
   $ migrate fuzz --families unit --count 1 --seed 5 --jobs 2 --inject-broken > fuzz_broken.out 2>&1; echo "exit: $?"
   exit: 1
-  $ head -14 fuzz_broken.out
+  $ head -15 fuzz_broken.out
   fuzz: 1 families x 1 instances, size 12, seed 5
   
   family       solver        runs    ok  max-gap  gap histogram
@@ -204,10 +210,11 @@ code is the certifier's verdict, not the domain's.
   unit         greedy           1     1        1  1:1
   unit         orbits           1     1        1  1:1
   unit         auto             1     1        0  0:1
+  unit         sla-greedy       1     1        1  1:1
   unit         broken           1     0        0  0:1
   unit         forwarding       1     1        0  0:1
   
-  total: 1 instances, 7 solver runs, 1 failures
+  total: 1 instances, 8 solver runs, 1 failures
   
   FAILURE family=unit seed=5000 size=12 solver=broken
 
@@ -461,6 +468,75 @@ Bad arguments and unreadable traces exit 2:
   $ migrate serve --trace missing.trace 2>&1; echo "exit: $?"
   error: missing.trace: No such file or directory
   exit: 2
+
+SLA objectives: the "tenants" family emits tagged instances (a
+`groups` block after the caps), and `plan --objective group-ct`
+reorders the schedule for weighted group completion, prints the
+per-group table in priority order, and certifies the claim
+independently:
+
+  $ migrate generate --family tenants --seed 4 --size 12 > sla.inst
+  $ head -3 sla.inst
+  12 36
+  5 5 5 2 1 5 1 3 4 4 1 1
+  groups 7
+  $ migrate plan sla.inst --objective group-ct
+  algorithm:   auto
+  objective:   group-ct
+  rounds:      6
+  lower bound: 6
+  utilization: 0.32
+  group 5:     w=7 C=1
+  group 1:     w=6 C=5
+  group 2:     w=4 C=6
+  group 4:     w=4 C=3
+  group 6:     w=3 C=6
+  group 0:     w=2 C=6
+  group 3:     w=2 C=5
+  weighted sum: 113
+  completion:  p50=5 p99=6 rounds
+  sla certified: 7 groups, weighted sum 113
+  schedule: 6 rounds
+    round 0: 26
+    round 1: 2 3 5 6 7 9 10 12 17 19 20 25 29 31
+    round 2: 0 4 13 14 15 21 32 33
+    round 3: 1 18 22 23 24 27
+    round 4: 8 11 16
+    round 5: 28 30 34 35
+  
+
+The sla.* metrics surface in --metrics-json:
+
+  $ migrate plan -q sla.inst --objective group-ct --metrics-json | tr ',{' '\n\n' \
+  >   | grep -oE '"sla\.(groups|reorders|weighted_sum|p50_completion|p99_completion)"' | sort -u
+  "sla.groups"
+  "sla.p50_completion"
+  "sla.p99_completion"
+  "sla.reorders"
+  "sla.weighted_sum"
+
+Tenant-tagged trace requests get a per-tenant latency breakdown in the
+serve report:
+
+  $ cat > tenants.trace <<EOF
+  > init disks=4 items=24 caps=2,2,2,2 zipf=1.1 seed=7
+  > at 0 tenant=1 retarget 0:3 1:2
+  > at 4 tenant=2 retarget 2:1 3:0
+  > at 20 shift 0.25
+  > EOF
+  $ migrate serve --trace tenants.trace --epoch-rounds 16 --seed 7
+  epochs:      3 (22 rounds total)
+  transfers:   7 (0 quarantined, 0 repairs)
+  replans:     0 (retries 0)
+  requests:    3 completed, 0 abandoned, 0 rejected
+  latency:     p50=1 p99=2 rounds
+  tenant 0:    1 completed, p50=2 p99=2 rounds
+  tenant 1:    1 completed, p50=1 p99=1 rounds
+  tenant 2:    1 completed, p50=1 p99=1 rounds
+  request 0: completed@1 (absorbed@0)
+  request 1: completed@5 (absorbed@4)
+  request 2: completed@22 (absorbed@20)
+  service certified: 3 epochs, 22 rounds, 7 transfers
 
 Lab sweeps produce deterministic CSV:
 

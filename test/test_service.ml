@@ -42,7 +42,7 @@ let test_offline_oracle () =
   in
   let r =
     Service.run ~jobs:1 ~epoch_rounds:64 ~rng_seed:seed cluster
-      ~requests:[ { Service.at = 0; trigger = Service.Retarget moves } ]
+      ~requests:[ { Service.at = 0; tenant = 0; trigger = Service.Retarget moves } ]
       ()
   in
   Alcotest.(check bool) "not truncated" false r.Service.truncated;
@@ -108,7 +108,7 @@ let requests_of_spec { sseed; ndisks; nitems; nreqs } =
         | 4 -> Service.Remove_disk { disk = Random.State.int rng ndisks }
         | _ -> Service.Fail_disk { disk = Random.State.int rng ndisks }
       in
-      { Service.at; trigger })
+      { Service.at; tenant = 0; trigger })
 
 let svc_spec_gen =
   QCheck2.Gen.(
@@ -149,8 +149,8 @@ let test_supersession_latency () =
   in
   let requests =
     [
-      { Service.at = 0; trigger = Service.Retarget [ (0, 1) ] };
-      { Service.at = 0; trigger = Service.Retarget [ (0, 2) ] };
+      { Service.at = 0; tenant = 0; trigger = Service.Retarget [ (0, 1) ] };
+      { Service.at = 0; tenant = 0; trigger = Service.Retarget [ (0, 2) ] };
     ]
   in
   let r = Service.run ~epoch_rounds:8 ~rng_seed:3 cluster ~requests () in
@@ -189,8 +189,8 @@ let clean_run () =
   in
   let requests =
     [
-      { Service.at = 0; trigger = Service.Retarget [ (0, 2); (2, 3); (4, 0) ] };
-      { Service.at = 2; trigger = Service.Retarget [ (1, 3); (5, 1) ] };
+      { Service.at = 0; tenant = 0; trigger = Service.Retarget [ (0, 2); (2, 3); (4, 0) ] };
+      { Service.at = 2; tenant = 0; trigger = Service.Retarget [ (1, 3); (5, 1) ] };
     ]
   in
   Service.run ~epoch_rounds:4 ~rng_seed:5 cluster ~requests ()
