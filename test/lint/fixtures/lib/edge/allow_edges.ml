@@ -1,0 +1,21 @@
+(* Edge cases of the suppression machinery itself: each malformed
+   allow is a "suppression" finding, and scoping is exact. *)
+
+[@@@lint.allow "phantom-rule: suppressing a rule that does not exist"]
+
+(* reasonless: still suppresses, but is itself flagged *)
+let a = (Random.int [@lint.allow "determinism"]) 3
+
+(* unknown rule on an expression: flagged, and does not suppress *)
+let b = (Random.int [@lint.allow "no-such-rule: definitely"]) 5
+
+(* a binding-level allow covers the whole body... *)
+let c = 1 + Random.int 7 [@@lint.allow "determinism: reviewed — fixture"]
+
+(* ...but does not leak to the next binding *)
+let d = Random.int 9
+
+(* an inner expression allow scopes tighter than its binding *)
+let e =
+  let x = (Random.int [@lint.allow "determinism: inner scope only"]) 2 in
+  x + Random.int 4

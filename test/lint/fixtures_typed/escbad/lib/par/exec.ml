@@ -1,0 +1,3 @@
+(* Stand-in for the real pool dispatcher: the escape analysis keys on
+   the resolved name Exec.map, not on the implementation. *)
+let map f xs = List.map f xs

@@ -1,0 +1,3 @@
+(* The closure passed to the pool touches Tally's module-level table:
+   that table is mutated from worker domains without a guard. *)
+let run xs = Exec.map (fun x -> Tally.bump x) xs

@@ -1,0 +1,5 @@
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let bump k =
+  let n = try Hashtbl.find table k with Not_found -> 0 in
+  Hashtbl.replace table k (n + 1)

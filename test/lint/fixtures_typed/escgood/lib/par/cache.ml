@@ -1,0 +1,11 @@
+(* Module-level mutable state used only from sequential code: the
+   syntactic domain-safety rule flags it on sight, the escape analysis
+   accepts it — no closure carrying it ever reaches a pool. *)
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let memo f x =
+  try Hashtbl.find table x
+  with Not_found ->
+    let y = f x in
+    Hashtbl.add table x y;
+    y

@@ -1,0 +1,1 @@
+let map f xs = List.map f xs

@@ -1,0 +1,10 @@
+(* Shared state that does escape into the pool, but every accessor
+   takes the mutex: the lock discipline is visible to the analysis, so
+   the sharing is accepted as a reviewed decision. *)
+let mu = Mutex.create ()
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let bump k =
+  Mutex.protect mu (fun () ->
+      let n = try Hashtbl.find table k with Not_found -> 0 in
+      Hashtbl.replace table k (n + 1))

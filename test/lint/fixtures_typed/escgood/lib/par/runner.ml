@@ -1,0 +1,2 @@
+let run xs = Exec.map (fun x -> Guard.bump x) xs
+let lookup = Cache.memo (fun x -> x * x)

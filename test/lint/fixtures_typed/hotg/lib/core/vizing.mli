@@ -1,0 +1,1 @@
+val color : int -> int

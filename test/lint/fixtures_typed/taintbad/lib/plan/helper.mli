@@ -1,0 +1,1 @@
+val jitter : int -> int

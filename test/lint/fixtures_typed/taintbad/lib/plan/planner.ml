@@ -1,0 +1,1 @@
+let plan x = Helper.jitter (2 * x)

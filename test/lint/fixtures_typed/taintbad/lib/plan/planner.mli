@@ -1,0 +1,1 @@
+val plan : int -> int

@@ -1,0 +1,1 @@
+val jitter : Random.State.t -> int -> int

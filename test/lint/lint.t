@@ -65,8 +65,8 @@ name marks it: vizing.ml is one of the seven flat-core kernels); the
 reasoned suppression on the cold call produces no finding:
 
   $ lint --rules hotpath fixtures/lib/coloring/vizing.ml
-  fixtures/lib/coloring/vizing.ml:2 hotpath List.map in a hot kernel — steady-state loops iterate the CSR view with arena scratch; if this site is genuinely off the per-edge path, annotate it with [@lint.allow "hotpath: reason"]
   fixtures/lib/coloring/vizing.ml:2 hotpath Hashtbl.find in a hot kernel — steady-state loops iterate the CSR view with arena scratch; if this site is genuinely off the per-edge path, annotate it with [@lint.allow "hotpath: reason"]
+  fixtures/lib/coloring/vizing.ml:2 hotpath List.map in a hot kernel — steady-state loops iterate the CSR view with arena scratch; if this site is genuinely off the per-edge path, annotate it with [@lint.allow "hotpath: reason"]
   [1]
 
 Rule "mli-coverage" — a library module without an interface:
@@ -86,17 +86,49 @@ Random.int and the annotated Hashtbl produce no findings:
   fixtures/lib/core/suppressed.ml:10 suppression [@lint.allow] names unknown rule "not-a-rule"
   [1]
 
-The whole corpus at once, all rules — the summary exercised by CI:
+Edge cases of the suppression machinery itself: a file-wide allow of a
+nonexistent rule, a reasonless allow (which still suppresses but is
+flagged), an unknown rule on an expression (flagged, and does NOT
+suppress — see line 10's surviving determinism finding), a
+binding-level allow that covers its body but not the next binding, and
+a nested expression allow that scopes tighter than its binding:
+
+  $ lint --rules determinism fixtures/lib/edge/allow_edges.ml
+  fixtures/lib/edge/allow_edges.ml:4 suppression [@lint.allow] names unknown rule "phantom-rule"
+  fixtures/lib/edge/allow_edges.ml:7 suppression [@lint.allow "determinism"] is missing its reason — write "determinism: why this is safe"
+  fixtures/lib/edge/allow_edges.ml:10 determinism bare Random.int uses the global RNG — thread an explicitly seeded Random.State instead
+  fixtures/lib/edge/allow_edges.ml:10 suppression [@lint.allow] names unknown rule "no-such-rule"
+  fixtures/lib/edge/allow_edges.ml:16 determinism bare Random.int uses the global RNG — thread an explicitly seeded Random.State instead
+  fixtures/lib/edge/allow_edges.ml:21 determinism bare Random.int uses the global RNG — thread an explicitly seeded Random.State instead
+  [1]
+
+The whole corpus at once, all rules — the summary exercised by CI.
+This corpus carries no .cmt artifacts, so every library file also gets
+a "cmt" pseudo-finding from the interprocedural rules: a file they
+cannot analyze is reported, not silently treated as clean (the typed
+corpus in typed.t compiles its fixtures and exercises those rules for
+real):
 
   $ lint fixtures | wc -l
-  32
+  49
   $ lint fixtures > /dev/null
   [1]
 
-Usage errors exit 2:
+Usage errors exit 2; the rule list comes from the registry, not a
+hand-maintained string:
 
   $ lint --rules no-such-rule fixtures
-  lint: unknown rule "no-such-rule" (try --list-rules)
+  lint: unknown rule "no-such-rule" — known rules:
+    determinism
+    determinism-taint
+    domain-escape
+    domain-safety
+    exception
+    hotpath
+    hotpath-deep
+    layering
+    mli-coverage
+    probes
   [2]
   $ lint no/such/path
   lint: no such file or directory: no/such/path

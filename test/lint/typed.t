@@ -1,0 +1,140 @@
+migrate-lint over the typed fixture corpus: the interprocedural rules
+(determinism-taint, domain-escape, hotpath-deep) read .cmt typed ASTs,
+so each scenario is compiled here with the toolchain's ocamlc
+(-bin-annot) before the tool runs.  Each bad fixture's violation is
+only visible across definition boundaries — the old syntactic rules
+accept the file — and each good twin is something the syntactic rules
+flag (or would) but the precise analysis accepts.
+
+  $ alias lint=../../tools/lint/main.exe
+  $ alias build='ocamlc -bin-annot -w -a'
+
+determinism-taint, known bad: the Random.int carries a reviewed
+syntactic suppression, so the per-file determinism rule is silent on
+this corpus — but the exported entry point Helper.jitter still reaches
+the ambient generator through the private helper, and the finding
+prints the witnessing call chain:
+
+  $ build -I fixtures_typed/taintbad/lib/plan -c \
+  >   fixtures_typed/taintbad/lib/plan/helper.mli \
+  >   fixtures_typed/taintbad/lib/plan/helper.ml \
+  >   fixtures_typed/taintbad/lib/plan/planner.mli \
+  >   fixtures_typed/taintbad/lib/plan/planner.ml
+  $ lint --rules determinism fixtures_typed/taintbad
+  $ lint --rules determinism-taint fixtures_typed/taintbad
+  fixtures_typed/taintbad/lib/plan/helper.ml:4 determinism-taint Random.int is reachable from exported entry point Helper.jitter — solver paths must be deterministic; take explicit state or seed, or suppress with [@lint.allow "determinism-taint: reason"] (via Helper.jitter -> Helper.roll -> Random.int)
+  [1]
+
+determinism-taint, known good: the interface hides [roll] and nothing
+reachable calls it, so the unreachable Random.int is accepted — while
+the syntactic rule still flags the file.  The exported [jitter] takes
+its Random.State explicitly, which both rules accept:
+
+  $ build -I fixtures_typed/taintgood/lib/plan -c \
+  >   fixtures_typed/taintgood/lib/plan/helper.mli \
+  >   fixtures_typed/taintgood/lib/plan/helper.ml
+  $ lint --rules determinism-taint fixtures_typed/taintgood
+  $ lint --rules determinism fixtures_typed/taintgood
+  fixtures_typed/taintgood/lib/plan/helper.ml:6 determinism bare Random.int uses the global RNG — thread an explicitly seeded Random.State instead
+  [1]
+
+domain-escape, known bad: the closure passed to Exec.map calls
+Tally.bump, which mutates Tally's module-level table — the escape is
+invisible file-by-file (runner.ml has no mutable state, tally.ml has
+no parallelism) and the finding names both the sink call site and the
+chain from escape root to the shared state:
+
+  $ build -I fixtures_typed/escbad/lib/par -c \
+  >   fixtures_typed/escbad/lib/par/exec.ml \
+  >   fixtures_typed/escbad/lib/par/tally.ml \
+  >   fixtures_typed/escbad/lib/par/runner.ml
+  $ lint --rules domain-escape fixtures_typed/escbad
+  fixtures_typed/escbad/lib/par/tally.ml:1 domain-escape module-level mutable state Tally.table (a Hashtbl.t) escapes unguarded into Exec.map at fixtures_typed/escbad/lib/par/runner.ml:3 — worker domains may race on it; use Atomic/Mutex, pass state explicitly, or annotate [@@lint.domain_safe "reason"] (via Tally.bump -> Tally.table)
+  [1]
+
+domain-escape, known good twins: Cache.table is module-level mutable
+state used only sequentially, and Guard.table does escape into the
+pool but every accessor holds the mutex — the escape analysis accepts
+both, where the old syntactic over-approximation flags each of them on
+sight:
+
+  $ build -I fixtures_typed/escgood/lib/par -c \
+  >   fixtures_typed/escgood/lib/par/exec.ml \
+  >   fixtures_typed/escgood/lib/par/cache.ml \
+  >   fixtures_typed/escgood/lib/par/guard.ml \
+  >   fixtures_typed/escgood/lib/par/runner.ml
+  $ lint --rules domain-escape fixtures_typed/escgood
+  $ lint --rules domain-safety fixtures_typed/escgood
+  fixtures_typed/escgood/lib/par/cache.ml:4 domain-safety module-level mutable state (a Hashtbl.t) is shared across worker domains — guard it with Mutex/Atomic or annotate [@@lint.domain_safe "reason"]
+  fixtures_typed/escgood/lib/par/guard.ml:5 domain-safety module-level mutable state (a Hashtbl.t) is shared across worker domains — guard it with Mutex/Atomic or annotate [@@lint.domain_safe "reason"]
+  [1]
+
+hotpath-deep, known bad: vizing.ml (a kernel file) is syntactically
+spotless — the List.map sits one call away in widen.ml, a file the
+syntactic hotpath rule never inspects.  The deep rule follows the call
+from the exported kernel entry point:
+
+  $ build -I fixtures_typed/hotk/lib/core -c \
+  >   fixtures_typed/hotk/lib/core/widen.ml \
+  >   fixtures_typed/hotk/lib/core/vizing.ml
+  $ lint --rules hotpath fixtures_typed/hotk
+  $ lint --rules hotpath-deep fixtures_typed/hotk
+  fixtures_typed/hotk/lib/core/widen.ml:4 hotpath-deep List.map allocates on a kernel path — a hot entry point reaches this site; keep per-edge loops on the CSR view, or mark a reviewed cold path with [@lint.allow "hotpath-deep: reason"] (via Vizing.color -> Widen.grow -> List.map)
+  [1]
+
+hotpath-deep, known good: the kernel file carries a dead private List
+helper that its interface does not export — the syntactic rule flags
+it on file membership alone, the deep rule accepts it because no
+exported kernel entry point reaches the allocation:
+
+  $ build -I fixtures_typed/hotg/lib/core -c \
+  >   fixtures_typed/hotg/lib/core/vizing.mli \
+  >   fixtures_typed/hotg/lib/core/vizing.ml
+  $ lint --rules hotpath-deep fixtures_typed/hotg
+  $ lint --rules hotpath fixtures_typed/hotg
+  fixtures_typed/hotg/lib/core/vizing.ml:5 hotpath List.map in a hot kernel — steady-state loops iterate the CSR view with arena scratch; if this site is genuinely off the per-edge path, annotate it with [@lint.allow "hotpath: reason"]
+  [1]
+
+--format json emits one object per finding (JSON Lines), with the
+chain as a structured array — this is what CI converts into GitHub
+annotations:
+
+  $ lint --rules domain-escape --format json fixtures_typed/escbad
+  {"file":"fixtures_typed/escbad/lib/par/tally.ml","line":1,"rule":"domain-escape","message":"module-level mutable state Tally.table (a Hashtbl.t) escapes unguarded into Exec.map at fixtures_typed/escbad/lib/par/runner.ml:3 — worker domains may race on it; use Atomic/Mutex, pass state explicitly, or annotate [@@lint.domain_safe \"reason\"]","chain":["Tally.bump","Tally.table"]}
+  [1]
+
+Ratchet mode: --write-baseline records the current findings (keyed by
+file, rule, and message — line numbers and chains excluded, so
+unrelated edits do not resurrect a baselined finding), --baseline then
+fails only on findings not in the file:
+
+  $ lint --rules domain-escape --write-baseline base.txt fixtures_typed/escbad
+  lint: wrote 1 baseline entry to base.txt
+  $ cat base.txt
+  fixtures_typed/escbad/lib/par/tally.ml	domain-escape	module-level mutable state Tally.table (a Hashtbl.t) escapes unguarded into Exec.map at fixtures_typed/escbad/lib/par/runner.ml:3 — worker domains may race on it; use Atomic/Mutex, pass state explicitly, or annotate [@@lint.domain_safe "reason"]
+  $ lint --rules domain-escape --baseline base.txt fixtures_typed/escbad
+  lint: 1 finding(s) suppressed by baseline
+
+A finding outside the baseline still fails the run — here the
+syntactic domain-safety finding on the same table is new relative to
+the escape-only baseline:
+
+  $ lint --rules domain-escape,domain-safety --baseline base.txt fixtures_typed/escbad
+  fixtures_typed/escbad/lib/par/tally.ml:1 domain-safety module-level mutable state (a Hashtbl.t) is shared across worker domains — guard it with Mutex/Atomic or annotate [@@lint.domain_safe "reason"]
+  lint: 1 finding(s) suppressed by baseline
+  [1]
+
+The rule list is generated from the registry (doc/LINT.md's catalog
+headings are checked against this in CI):
+
+  $ lint --list-rules
+  determinism
+  determinism-taint
+  domain-escape
+  domain-safety
+  exception
+  hotpath
+  hotpath-deep
+  layering
+  mli-coverage
+  probes

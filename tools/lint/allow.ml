@@ -10,16 +10,7 @@
    hatch for module-level mutable state whose locking discipline the
    analyzer cannot see; it, too, demands a non-empty reason. *)
 
-let known_rules =
-  [
-    "determinism";
-    "domain-safety";
-    "layering";
-    "exception";
-    "probes";
-    "mli-coverage";
-    "hotpath";
-  ]
+let known_rules = Rules.names
 
 let payload_string : Parsetree.payload -> string option = function
   | PStr

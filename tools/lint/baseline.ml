@@ -1,0 +1,45 @@
+(* Ratchet mode.
+
+   A baseline file records the findings a codebase currently has, one
+   key per line; --baseline FILE then fails the run only on findings
+   *not* in the file, so a rule can be turned on before the last
+   legacy finding is burned down, while still blocking regressions.
+
+   Keys are "file<TAB>rule<TAB>message" — deliberately line-number-
+   and chain-insensitive, so unrelated edits that shift a legacy
+   finding by a few lines (or reroute its witness chain) do not
+   resurrect it.  --write-baseline FILE regenerates the file from the
+   current findings, sorted and de-duplicated, for the burn-down
+   commits that fix some of them. *)
+
+let key (f : Finding.t) = String.concat "\t" [ f.file; f.rule; f.message ]
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let keys = Hashtbl.create 64 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then Hashtbl.replace keys line ()
+         done
+       with End_of_file -> ());
+      keys)
+
+let write path findings =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.map key findings
+      |> List.sort_uniq String.compare
+      |> List.iter (fun k -> output_string oc (k ^ "\n")))
+
+(* (new findings, baselined-away count) *)
+let filter keys findings =
+  let fresh, old =
+    List.partition (fun f -> not (Hashtbl.mem keys (key f))) findings
+  in
+  (fresh, List.length old)

@@ -1,16 +1,61 @@
 (* A single lint diagnostic.  Findings print as "file:line rule message"
-   so editors and CI logs can jump straight to the offending line. *)
+   so editors and CI logs can jump straight to the offending line; the
+   interprocedural rules attach the call chain that witnesses the
+   violation, rendered as a "(via A -> B -> C)" suffix in text mode
+   and as a structured array in --format json. *)
 
-type t = { file : string; line : int; rule : string; message : string }
+type t = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+  chain : string list;
+}
 
-let v ~file ~line ~rule message = { file; line; rule; message }
+let v ~file ~line ~rule ?(chain = []) message =
+  { file; line; rule; message; chain }
 
 let order a b =
   match String.compare a.file b.file with
   | 0 -> (
       match compare a.line b.line with
-      | 0 -> String.compare a.rule b.rule
+      | 0 -> (
+          match String.compare a.rule b.rule with
+          | 0 -> String.compare a.message b.message
+          | c -> c)
       | c -> c)
   | c -> c
 
-let to_string f = Printf.sprintf "%s:%d %s %s" f.file f.line f.rule f.message
+let to_string f =
+  let chain =
+    match f.chain with
+    | [] -> ""
+    | c -> Printf.sprintf " (via %s)" (String.concat " -> " c)
+  in
+  Printf.sprintf "%s:%d %s %s%s" f.file f.line f.rule f.message chain
+
+(* Minimal JSON string escaping — the messages are ASCII with the odd
+   em dash; escape the two structural characters and control bytes. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* One JSON object per finding, one per line (JSON Lines), so CI can
+   stream-convert findings into GitHub annotations with jq. *)
+let to_json f =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\",\"message\":\"%s\",\"chain\":[%s]}"
+    (json_escape f.file) f.line (json_escape f.rule) (json_escape f.message)
+    (String.concat ","
+       (List.map (fun c -> Printf.sprintf "\"%s\"" (json_escape c)) f.chain))

@@ -3,15 +3,25 @@
      dune exec tools/lint/main.exe -- lib bin bench
 
    Walks every .ml under the given paths with the compiler-libs parser
-   (plus an ocamldep pass for layering) and prints findings as
-   "file:line rule message", one per line, sorted.  Exit status: 0
-   clean, 1 findings, 2 usage or internal error.  See doc/LINT.md for
-   the rule catalog and suppression semantics. *)
+   (plus an ocamldep pass for layering), and — for the interprocedural
+   rules — loads the .cmt typed ASTs dune leaves next to the build
+   artifacts, builds the repo-wide call graph, and follows calls
+   across module boundaries.  Findings print as "file:line rule
+   message", one per line, sorted; interprocedural findings append
+   their witnessing call chain.  Exit status: 0 clean, 1 findings, 2
+   usage or internal error.  See doc/LINT.md for the rule catalog and
+   suppression semantics. *)
 
 let usage =
-  "usage: lint [--rules r1,r2] [--list-rules] PATH...\n\
-   Rules: determinism domain-safety layering exception probes\n\
- \  mli-coverage hotpath"
+  Printf.sprintf
+    "usage: lint [options] PATH...\n\
+     \  --rules r1,r2         run only the named rules\n\
+     \  --list-rules          print the rule names and exit\n\
+     \  --format text|json    output format (json = one object per line)\n\
+     \  --baseline FILE       fail only on findings not in FILE\n\
+     \  --write-baseline FILE record current findings in FILE and exit\n\
+     Rules: %s"
+    (String.concat " " Rules.names)
 
 let fail fmt =
   Printf.ksprintf
@@ -20,24 +30,45 @@ let fail fmt =
       exit 2)
     fmt
 
+type format = Text | Json
+
 let () =
   let rules_filter = ref None in
   let paths = ref [] in
+  let format = ref Text in
+  let baseline = ref None in
+  let write_baseline = ref None in
   let rec parse_args = function
     | [] -> ()
     | "--list-rules" :: _ ->
-        List.iter print_endline Allow.known_rules;
+        List.iter print_endline Rules.names;
         exit 0
     | "--rules" :: spec :: rest ->
         let rs = String.split_on_char ',' spec |> List.map String.trim in
         List.iter
           (fun r ->
-            if not (List.mem r Allow.known_rules) then
-              fail "unknown rule %S (try --list-rules)" r)
+            if not (Rules.is_known r) then
+              fail "unknown rule %S — known rules:\n  %s" r
+                (String.concat "\n  " Rules.names))
           rs;
         rules_filter := Some rs;
         parse_args rest
-    | "--rules" :: [] -> fail "--rules needs an argument"
+    | "--format" :: f :: rest ->
+        (match f with
+        | "text" -> format := Text
+        | "json" -> format := Json
+        | other -> fail "unknown format %S (text or json)" other);
+        parse_args rest
+    | "--baseline" :: file :: rest ->
+        if not (Sys.file_exists file) then
+          fail "no such baseline file: %s" file;
+        baseline := Some file;
+        parse_args rest
+    | "--write-baseline" :: file :: rest ->
+        write_baseline := Some file;
+        parse_args rest
+    | [ ("--rules" | "--format" | "--baseline" | "--write-baseline") ] ->
+        fail "missing argument\n%s" usage
     | ("--help" | "-h") :: _ ->
         print_endline usage;
         exit 0
@@ -48,10 +79,11 @@ let () =
   in
   parse_args (List.tl (Array.to_list Sys.argv));
   if !paths = [] then fail "no paths given\n%s" usage;
+  let roots = List.rev !paths in
   let enabled r =
     match !rules_filter with None -> true | Some rs -> List.mem r rs
   in
-  let files = Source.discover (List.rev !paths) in
+  let files = Source.discover roots in
   let ml_files =
     List.filter
       (fun (f : Source.file) -> Filename.check_suffix f.path ".ml")
@@ -104,8 +136,53 @@ let () =
   let mli =
     if enabled "mli-coverage" then Rule_mli.run files ~file_allowed else []
   in
-  let all =
-    List.sort Finding.order (List.concat [ ast_findings; layering; mli ])
+  let interproc =
+    if not (Rules.interprocedural_requested enabled) then []
+    else begin
+      let units, missing = Cmt_loader.load ~roots ~sources:files in
+      let acc = ref [] in
+      List.iter
+        (fun (f : Source.file) ->
+          acc :=
+            Finding.v ~file:f.path ~line:1 ~rule:"cmt"
+              "no typed AST (.cmt) found for this file — build the tree \
+               first (dune build @check) so the interprocedural rules can \
+               analyze it"
+            :: !acc)
+        missing;
+      let g = Callgraph.build units in
+      let emit ~file ~line ~rule ~chain msg =
+        acc := Finding.v ~file ~line ~rule ~chain msg :: !acc
+      in
+      if enabled "determinism-taint" then Rule_taint.run g emit;
+      if enabled "domain-escape" then Rule_escape.run g emit;
+      if enabled "hotpath-deep" then Rule_hotpath_deep.run g emit;
+      !acc
+    end
   in
-  List.iter (fun f -> print_endline (Finding.to_string f)) all;
+  let all =
+    List.sort Finding.order
+      (List.concat [ ast_findings; layering; mli; interproc ])
+  in
+  (match !write_baseline with
+  | Some file ->
+      Baseline.write file all;
+      Printf.eprintf "lint: wrote %d baseline entr%s to %s\n" (List.length all)
+        (if List.length all = 1 then "y" else "ies")
+        file;
+      exit 0
+  | None -> ());
+  let all, suppressed =
+    match !baseline with
+    | Some file -> Baseline.filter (Baseline.load file) all
+    | None -> (all, 0)
+  in
+  let render =
+    match !format with Text -> Finding.to_string | Json -> Finding.to_json
+  in
+  List.iter (fun f -> print_endline (render f)) all;
+  flush stdout;
+  if suppressed > 0 then (
+    Printf.eprintf "lint: %d finding(s) suppressed by baseline\n" suppressed;
+    flush stderr);
   if all <> [] then exit 1

@@ -1,0 +1,66 @@
+(* Rule "determinism-taint": the interprocedural determinism contract.
+
+   The syntactic "determinism" rule bans writing Random.int or a
+   wall-clock read directly in a lib/ file.  This rule closes the
+   loophole it leaves open: a solver entry point calling a helper
+   calling a helper that rolls the dice.  Seeds are references to the
+   ambient-nondeterminism primitives — the global [Random] generator
+   (including [Random.State.make_self_init], which launders ambient
+   entropy into an explicit state) and wall-clock reads — anywhere in
+   lib/ outside the probes library.  Taint propagates backwards over
+   the call graph: any seed inside a def reachable from an exported
+   lib value is a finding, reported at the seed's source line with the
+   witnessing call chain.
+
+   Explicitly seeded randomness ([Random.State.int st]) is fine — the
+   caller owns the state, so runs replay.  The probes library is
+   instrumentation and is neither traversed nor seeded, matching the
+   wall-clock exemption the syntactic rule grants it.  A seed that no
+   exported value can reach (a dead or internal-only helper) is
+   accepted: the contract is about what solver users can observe.
+   Suppress at the seed site or its binding with
+   [@lint.allow "determinism-taint: reason"]. *)
+
+let rule = "determinism-taint"
+
+let seed_name = function
+  | [ "Stdlib"; "Random"; "State"; ("make_self_init" as fn) ]
+  | [ "Stdlib"; "Random"; ("self_init" as fn) ] ->
+      Some ("Random." ^ fn ^ " (ambient entropy)")
+  | [ "Stdlib"; "Random"; "State"; _ ] -> None
+  | [ "Stdlib"; "Random"; fn ] -> Some ("Random." ^ fn)
+  | [ "Unix"; (("gettimeofday" | "time") as fn) ] ->
+      Some ("Unix." ^ fn ^ " (wall clock)")
+  | [ "Stdlib"; "Sys"; "time" ] -> Some "Sys.time (wall clock)"
+  | _ -> None
+
+let in_probes (d : Callgraph.def) =
+  match d.scope with Source.Lib "probes" -> true | _ -> false
+
+let lib_def (d : Callgraph.def) =
+  match d.scope with Source.Lib _ -> not (in_probes d) | _ -> false
+
+let run (g : Callgraph.t) emit =
+  let entries = ref [] in
+  Callgraph.iter_defs g (fun d ->
+      if lib_def d && d.exported then entries := d :: !entries);
+  let parents = Callgraph.bfs g ~sources:!entries ~skip:in_probes in
+  Callgraph.iter_defs g (fun d ->
+      if lib_def d && Callgraph.reachable parents d then
+        List.iter
+          (fun (r : Callgraph.reference) ->
+            match seed_name r.target with
+            | Some seed when not (List.mem rule r.r_allows) ->
+                let chain = Callgraph.chain g parents d @ [ seed ] in
+                let entry =
+                  match chain with e :: _ -> e | [] -> assert false
+                in
+                emit ~file:d.file ~line:r.r_line ~rule ~chain
+                  (Printf.sprintf
+                     "%s is reachable from exported entry point %s — solver \
+                      paths must be deterministic; take explicit state or \
+                      seed, or suppress with [@lint.allow \
+                      \"determinism-taint: reason\"]"
+                     seed entry)
+            | _ -> ())
+          d.refs)
